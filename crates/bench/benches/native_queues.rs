@@ -1,0 +1,238 @@
+//! Criterion microbenchmarks of the *native* (real-thread) queues.
+//!
+//! These complement the simulator studies: the paper's claims are about a
+//! simulated 256-way ccNUMA, but a downstream user cares how the library
+//! behaves on a real multicore. Benchmarks:
+//!
+//! * `seq/*` — single-threaded structure costs (sequential skiplist vs
+//!   `std::collections::BinaryHeap` vs the concurrent structures used by
+//!   one thread).
+//! * `mixed/<structure>/<threads>` — throughput of the paper's synthetic
+//!   workload (50% inserts, random priorities) at 1..8 threads.
+//! * `hold/<structure>/<threads>` — the discrete-event-simulation hold
+//!   model (delete-min then insert at a later time).
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use funnel::FunnelList;
+use huntheap::{HuntHeap, LockedBinaryHeap};
+use skipqueue::seq::SeqSkipList;
+use skipqueue::{PriorityQueue, SkipQueue};
+
+fn xorshift(state: &mut u64) -> u64 {
+    *state ^= *state << 13;
+    *state ^= *state >> 7;
+    *state ^= *state << 17;
+    *state
+}
+
+fn bench_sequential(c: &mut Criterion) {
+    let mut g = c.benchmark_group("seq");
+    let n = 10_000u64;
+
+    g.bench_function("std_binary_heap", |b| {
+        b.iter(|| {
+            let mut h = BinaryHeap::new();
+            let mut s = 7u64;
+            for _ in 0..n {
+                h.push(Reverse(xorshift(&mut s)));
+            }
+            while let Some(Reverse(k)) = h.pop() {
+                std::hint::black_box(k);
+            }
+        })
+    });
+
+    g.bench_function("seq_skiplist", |b| {
+        b.iter(|| {
+            let mut q = SeqSkipList::new();
+            let mut s = 7u64;
+            for _ in 0..n {
+                q.insert(xorshift(&mut s), ());
+            }
+            while let Some((k, _)) = q.delete_min() {
+                std::hint::black_box(k);
+            }
+        })
+    });
+
+    g.bench_function("skipqueue_single_thread", |b| {
+        b.iter(|| {
+            let q = SkipQueue::new();
+            let mut s = 7u64;
+            for _ in 0..n {
+                q.insert(xorshift(&mut s), ());
+            }
+            while let Some((k, _)) = q.delete_min() {
+                std::hint::black_box(k);
+            }
+        })
+    });
+
+    g.bench_function("hunt_heap_single_thread", |b| {
+        b.iter(|| {
+            let q = HuntHeap::with_capacity(n as usize + 1);
+            let mut s = 7u64;
+            for _ in 0..n {
+                q.insert(xorshift(&mut s), ());
+            }
+            while let Some((k, _)) = q.delete_min() {
+                std::hint::black_box(k);
+            }
+        })
+    });
+    g.finish();
+}
+
+/// Runs `threads` workers, each performing `ops` mixed operations, and
+/// returns the wall time.
+fn mixed_run<Q: PriorityQueue<u64, u64> + Send + Sync + 'static>(
+    q: Arc<Q>,
+    threads: usize,
+    ops: u64,
+) -> Duration {
+    // Pre-fill so deletes usually succeed.
+    for k in 0..1_000u64 {
+        q.insert(k * 977, k);
+    }
+    let t0 = Instant::now();
+    std::thread::scope(|s| {
+        for t in 0..threads {
+            let q = Arc::clone(&q);
+            s.spawn(move || {
+                let mut state = (t as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                for _ in 0..ops {
+                    if xorshift(&mut state).is_multiple_of(2) {
+                        q.insert(state >> 16, 0);
+                    } else {
+                        std::hint::black_box(q.delete_min());
+                    }
+                }
+            });
+        }
+    });
+    t0.elapsed()
+}
+
+fn bench_mixed(c: &mut Criterion) {
+    let mut g = c.benchmark_group("mixed");
+    g.sample_size(10);
+    let ops = 20_000u64;
+    let max_threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(8);
+    let threads: Vec<usize> = [1usize, 2, 4, 8]
+        .into_iter()
+        .filter(|&t| t <= max_threads)
+        .collect();
+    for &t in &threads {
+        g.bench_with_input(BenchmarkId::new("skipqueue", t), &t, |b, &t| {
+            b.iter_custom(|iters| {
+                (0..iters)
+                    .map(|_| mixed_run(Arc::new(SkipQueue::new()), t, ops))
+                    .sum()
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("skipqueue_relaxed", t), &t, |b, &t| {
+            b.iter_custom(|iters| {
+                (0..iters)
+                    .map(|_| mixed_run(Arc::new(SkipQueue::new_relaxed()), t, ops))
+                    .sum()
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("hunt_heap", t), &t, |b, &t| {
+            b.iter_custom(|iters| {
+                (0..iters)
+                    .map(|_| {
+                        mixed_run(
+                            Arc::new(HuntHeap::with_capacity(1_000 + (ops as usize) * t + 64)),
+                            t,
+                            ops,
+                        )
+                    })
+                    .sum()
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("funnel_list", t), &t, |b, &t| {
+            b.iter_custom(|iters| {
+                (0..iters)
+                    .map(|_| mixed_run(Arc::new(FunnelList::new()), t, ops))
+                    .sum()
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("locked_binary_heap", t), &t, |b, &t| {
+            b.iter_custom(|iters| {
+                (0..iters)
+                    .map(|_| mixed_run(Arc::new(LockedBinaryHeap::new()), t, ops))
+                    .sum()
+            })
+        });
+    }
+    g.finish();
+}
+
+/// Hold model: delete the earliest event and schedule a successor.
+fn hold_run<Q: PriorityQueue<u64, u64> + Send + Sync + 'static>(
+    q: Arc<Q>,
+    threads: usize,
+    ops: u64,
+) -> Duration {
+    for k in 0..5_000u64 {
+        q.insert(k, 0);
+    }
+    let t0 = Instant::now();
+    std::thread::scope(|s| {
+        for t in 0..threads {
+            let q = Arc::clone(&q);
+            s.spawn(move || {
+                let mut state = (t as u64 + 1).wrapping_mul(0xA24B_AED4_963E_E407);
+                for _ in 0..ops {
+                    if let Some((now, _)) = q.delete_min() {
+                        let dt = xorshift(&mut state) % 1_000;
+                        q.insert(now + dt, 0);
+                    }
+                }
+            });
+        }
+    });
+    t0.elapsed()
+}
+
+fn bench_hold(c: &mut Criterion) {
+    let mut g = c.benchmark_group("hold");
+    g.sample_size(10);
+    let ops = 20_000u64;
+    for t in [1usize, 4] {
+        g.bench_with_input(BenchmarkId::new("skipqueue", t), &t, |b, &t| {
+            b.iter_custom(|iters| {
+                (0..iters)
+                    .map(|_| hold_run(Arc::new(SkipQueue::new()), t, ops))
+                    .sum()
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("hunt_heap", t), &t, |b, &t| {
+            b.iter_custom(|iters| {
+                (0..iters)
+                    .map(|_| hold_run(Arc::new(HuntHeap::with_capacity(200_000)), t, ops))
+                    .sum()
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("locked_binary_heap", t), &t, |b, &t| {
+            b.iter_custom(|iters| {
+                (0..iters)
+                    .map(|_| hold_run(Arc::new(LockedBinaryHeap::new()), t, ops))
+                    .sum()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_sequential, bench_mixed, bench_hold);
+criterion_main!(benches);

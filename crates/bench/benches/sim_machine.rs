@@ -1,0 +1,111 @@
+//! Criterion microbenchmarks of the simulator substrate itself: events per
+//! second of the executor, memory model, and lock machinery. These guard
+//! against regressions that would make the figure reproductions slow.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pqsim::{Sim, SimConfig};
+
+fn bench_executor(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sim_executor");
+    for nproc in [4u32, 64, 256] {
+        let ops_per_proc = 2_000u64;
+        g.throughput(Throughput::Elements(u64::from(nproc) * ops_per_proc));
+        g.bench_with_input(
+            BenchmarkId::new("fetch_add_storm", nproc),
+            &nproc,
+            |b, &nproc| {
+                b.iter(|| {
+                    let mut sim = Sim::new(SimConfig::new(nproc));
+                    let word = sim.alloc_shared(1);
+                    for _ in 0..nproc {
+                        sim.spawn(move |p| async move {
+                            for _ in 0..ops_per_proc {
+                                p.work(100);
+                                p.fetch_add(word, 1).await;
+                            }
+                        });
+                    }
+                    sim.run()
+                })
+            },
+        );
+        g.bench_with_input(
+            BenchmarkId::new("independent_words", nproc),
+            &nproc,
+            |b, &nproc| {
+                b.iter(|| {
+                    let mut sim = Sim::new(SimConfig::new(nproc));
+                    let base = sim.alloc_shared(nproc);
+                    for i in 0..nproc {
+                        sim.spawn(move |p| async move {
+                            for _ in 0..ops_per_proc {
+                                p.work(100);
+                                p.fetch_add(base + i, 1).await;
+                            }
+                        });
+                    }
+                    sim.run()
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_locks(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sim_locks");
+    for nproc in [4u32, 64] {
+        g.bench_with_input(
+            BenchmarkId::new("contended_lock", nproc),
+            &nproc,
+            |b, &nproc| {
+                b.iter(|| {
+                    let mut sim = Sim::new(SimConfig::new(nproc));
+                    let lock = sim.machine().borrow_mut().new_lock(0);
+                    let word = sim.alloc_shared(1);
+                    for _ in 0..nproc {
+                        sim.spawn(move |p| async move {
+                            for _ in 0..500 {
+                                p.acquire(lock).await;
+                                let v = p.read(word).await;
+                                p.write(word, v + 1).await;
+                                p.release(lock).await;
+                            }
+                        });
+                    }
+                    sim.run()
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_workload(c: &mut Criterion) {
+    use simpq::{run_workload, QueueKind, WorkloadConfig};
+    let mut g = c.benchmark_group("sim_workload");
+    g.sample_size(10);
+    for kind in [
+        QueueKind::SkipQueue { strict: true },
+        QueueKind::HuntHeap,
+        QueueKind::FunnelList,
+    ] {
+        g.bench_function(BenchmarkId::new("p64_small", kind.label()), |b| {
+            b.iter(|| {
+                run_workload(&WorkloadConfig {
+                    queue: kind,
+                    nproc: 64,
+                    initial_size: 50,
+                    total_ops: 6_400,
+                    insert_ratio: 0.5,
+                    work_cycles: 100,
+                    ..WorkloadConfig::default()
+                })
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_executor, bench_locks, bench_workload);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Ablation (paper §5): the skiplist height cap.
+//!
+//! The paper sets the maximal level to log N for an assumed size bound N
+//! and notes that fancier schemes "are not significant enough to warrant
+//! more than this simple method". This binary sweeps the cap at a fixed
+//! workload so the claim can be checked: too low a cap degrades search to
+//! linear; beyond ~log N, extra levels buy nothing and add tower-linking
+//! cost.
+
+use pq_bench::{finish_figure, measure, Options};
+use simpq::{QueueKind, WorkloadConfig};
+
+fn main() {
+    let opts = Options::from_args();
+    let kind = QueueKind::SkipQueue { strict: true };
+    let nproc = 64.min(opts.max_procs);
+    let mut rows = Vec::new();
+    for &max_level in &[2usize, 4, 6, 8, 12, 16, 20, 24] {
+        let cfg = WorkloadConfig {
+            queue: kind,
+            nproc,
+            initial_size: 1_000,
+            total_ops: opts.ops(20_000, nproc),
+            insert_ratio: 0.5,
+            work_cycles: 100,
+            seed: opts.seed,
+            skip_max_level: Some(max_level),
+            ..WorkloadConfig::default()
+        };
+        rows.push(measure(kind, nproc, max_level as u64, &cfg));
+    }
+    finish_figure(
+        &opts,
+        "Ablation: skiplist height cap (64 procs, 1000 initial)",
+        "maxlvl",
+        &rows,
+    );
+}

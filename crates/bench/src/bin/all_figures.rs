@@ -1,0 +1,107 @@
+//! Runs every figure of the paper in sequence and writes one CSV per
+//! figure under `results/`. `--scale 0.1` gives a quick pass.
+
+use pq_bench::{concurrency_figure, finish_figure, measure, Options};
+use simpq::{QueueKind, WorkloadConfig};
+
+fn main() {
+    let base = Options::from_args();
+    let t0 = std::time::Instant::now();
+
+    // Figure 2: work sweep.
+    {
+        let opts = Options {
+            csv: Some("results/fig2_work_sweep.csv".into()),
+            ..base.clone()
+        };
+        let kind = QueueKind::SkipQueue { strict: true };
+        let nproc = 256.min(opts.max_procs);
+        let mut rows = Vec::new();
+        for &work in &[100u64, 1_000, 2_000, 3_000, 4_000, 5_000, 6_000] {
+            let cfg = WorkloadConfig {
+                queue: kind,
+                nproc,
+                initial_size: 1_000,
+                total_ops: opts.ops(70_000, nproc),
+                insert_ratio: 0.5,
+                work_cycles: work,
+                seed: opts.seed,
+                ..WorkloadConfig::default()
+            };
+            rows.push(measure(kind, nproc, work, &cfg));
+        }
+        finish_figure(&opts, "Figure 2: latency vs local work", "work", &rows);
+    }
+
+    let three = [
+        QueueKind::HuntHeap,
+        QueueKind::SkipQueue { strict: true },
+        QueueKind::FunnelList,
+    ];
+    let two = [QueueKind::HuntHeap, QueueKind::SkipQueue { strict: true }];
+    let relaxed = [
+        QueueKind::SkipQueue { strict: true },
+        QueueKind::SkipQueue { strict: false },
+    ];
+
+    let figs: [(&str, &str, &[QueueKind], usize, usize, f64); 6] = [
+        (
+            "fig3_small",
+            "Figure 3: small structure",
+            &three,
+            70_000,
+            50,
+            0.5,
+        ),
+        (
+            "fig4_large",
+            "Figure 4: large structure",
+            &three,
+            70_000,
+            1_000,
+            0.5,
+        ),
+        (
+            "fig5_deletions",
+            "Figure 5: 70% deletions",
+            &two,
+            60_000,
+            27_000,
+            0.3,
+        ),
+        (
+            "fig6_relaxed_small",
+            "Figure 6: relaxed, small",
+            &relaxed,
+            7_000,
+            50,
+            0.5,
+        ),
+        (
+            "fig7_relaxed_large",
+            "Figure 7: relaxed, large",
+            &relaxed,
+            7_000,
+            1_000,
+            0.5,
+        ),
+        (
+            "fig8_relaxed_70pct",
+            "Figure 8: relaxed, 70% deletions",
+            &relaxed,
+            60_000,
+            27_000,
+            0.3,
+        ),
+    ];
+    for (file, title, kinds, ops, initial, ratio) in figs {
+        let opts = Options {
+            csv: Some(format!("results/{file}.csv")),
+            ..base.clone()
+        };
+        let rows = concurrency_figure(&opts, kinds, ops, initial, ratio);
+        finish_figure(&opts, title, "procs", &rows);
+    }
+
+    eprintln!("\nall figures done in {:?}", t0.elapsed());
+}

@@ -1,0 +1,49 @@
+//! Extra study (not a paper figure): the *hold model* of Rönngren & Ayani —
+//! the classic pending-event-set benchmark for discrete-event simulation,
+//! one of the application domains the paper's introduction motivates.
+//!
+//! Each processor repeatedly removes the earliest event and schedules a
+//! successor, keeping the queue at a constant size. Reports the mean cost
+//! of one hold (delete-min + insert) across the concurrency range for the
+//! SkipQueue, the relaxed SkipQueue, and the Hunt heap at two queue sizes.
+
+use pq_bench::Options;
+use simpq::{run_hold_model, HoldConfig, QueueKind};
+
+fn main() {
+    let opts = Options::from_args();
+    let kinds = [
+        QueueKind::SkipQueue { strict: true },
+        QueueKind::SkipQueue { strict: false },
+        QueueKind::HuntHeap,
+    ];
+    for &size in &[100usize, 10_000] {
+        println!("\n== hold model, queue size {size} ==");
+        println!(
+            "{:>6} {:>22} {:>14} {:>12}",
+            "procs", "structure", "hold (cycles)", "p99"
+        );
+        for &nproc in &opts.procs() {
+            for kind in kinds {
+                let r = run_hold_model(&HoldConfig {
+                    queue: kind,
+                    nproc,
+                    size,
+                    total_holds: opts.ops(20_000, nproc),
+                    mean_dt: 500,
+                    work_cycles: 100,
+                    seed: opts.seed,
+                    ..HoldConfig::default()
+                });
+                assert_eq!(r.final_size, size, "hold model must conserve size");
+                println!(
+                    "{:>6} {:>22} {:>14.0} {:>12}",
+                    nproc,
+                    kind.label(),
+                    r.hold.mean,
+                    r.hold.p99
+                );
+            }
+        }
+    }
+}

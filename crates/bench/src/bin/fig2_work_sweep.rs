@@ -1,0 +1,34 @@
+//! Figure 2 (table): SkipQueue insert / delete-min latency as the local
+//! work between operations grows, at 256 processors with 1000 initial
+//! elements. The paper's numbers fall from ~190k/65k cycles at work=100 to
+//! ~70k/26k at work=6000 — latency drops as the load (and therefore
+//! contention) drops.
+
+use pq_bench::{finish_figure, measure, Options};
+use simpq::{QueueKind, WorkloadConfig};
+
+fn main() {
+    let opts = Options::from_args();
+    let kind = QueueKind::SkipQueue { strict: true };
+    let nproc = 256.min(opts.max_procs);
+    let mut rows = Vec::new();
+    for &work in &[100u64, 1_000, 2_000, 3_000, 4_000, 5_000, 6_000] {
+        let cfg = WorkloadConfig {
+            queue: kind,
+            nproc,
+            initial_size: 1_000,
+            total_ops: opts.ops(70_000, nproc),
+            insert_ratio: 0.5,
+            work_cycles: work,
+            seed: opts.seed,
+            ..WorkloadConfig::default()
+        };
+        rows.push(measure(kind, nproc, work, &cfg));
+    }
+    finish_figure(
+        &opts,
+        "Figure 2: latency vs local work (SkipQueue, 256 procs, 1000 initial)",
+        "work",
+        &rows,
+    );
+}

@@ -1,0 +1,27 @@
+//! Figure 3: the small-structure benchmark. 50 initial elements, 70 000
+//! operations, 50% inserts; Heap vs SkipQueue vs FunnelList across the
+//! whole concurrency range.
+//!
+//! Paper shape: FunnelList is best at low concurrency (small, simple
+//! structure), but SkipQueue overtakes it as concurrency grows; the Heap is
+//! slower than SkipQueue throughout — ~10x slower inserts and ~3x slower
+//! deletions at 256 processors.
+
+use pq_bench::{concurrency_figure, finish_figure, Options};
+use simpq::QueueKind;
+
+fn main() {
+    let opts = Options::from_args();
+    let kinds = [
+        QueueKind::HuntHeap,
+        QueueKind::SkipQueue { strict: true },
+        QueueKind::FunnelList,
+    ];
+    let rows = concurrency_figure(&opts, &kinds, 70_000, 50, 0.5);
+    finish_figure(
+        &opts,
+        "Figure 3: small structure (50 initial, 70000 ops, 50% inserts)",
+        "procs",
+        &rows,
+    );
+}

@@ -1,0 +1,26 @@
+//! Figure 4: the large-structure benchmark. 1000 initial elements, 70 000
+//! operations, 50% inserts; Heap vs SkipQueue vs FunnelList.
+//!
+//! Paper shape: the FunnelList's linear-in-size operations collapse; the
+//! two logarithmic structures barely notice the 20x size increase. At 256
+//! processors SkipQueue is ~2.5x faster than the Heap on deletions and up
+//! to ~6.5x on insertions.
+
+use pq_bench::{concurrency_figure, finish_figure, Options};
+use simpq::QueueKind;
+
+fn main() {
+    let opts = Options::from_args();
+    let kinds = [
+        QueueKind::HuntHeap,
+        QueueKind::SkipQueue { strict: true },
+        QueueKind::FunnelList,
+    ];
+    let rows = concurrency_figure(&opts, &kinds, 70_000, 1_000, 0.5);
+    finish_figure(
+        &opts,
+        "Figure 4: large structure (1000 initial, 70000 ops, 50% inserts)",
+        "procs",
+        &rows,
+    );
+}

@@ -1,0 +1,23 @@
+//! Figure 5: the 70%-deletions benchmark. 27 000 initial elements, 60 000
+//! operations, 30% inserts; Heap vs SkipQueue (the paper drops FunnelList
+//! here after its Figure-4 collapse).
+//!
+//! Paper shape: extra deletions hurt the Heap far more than the SkipQueue —
+//! deletions concentrate on the root while the SkipQueue spreads them along
+//! the bottom level. SkipQueue deletes ~2.5x faster at 256 processors, and
+//! heap *insertions* also suffer from the delete traffic near the root.
+
+use pq_bench::{concurrency_figure, finish_figure, Options};
+use simpq::QueueKind;
+
+fn main() {
+    let opts = Options::from_args();
+    let kinds = [QueueKind::HuntHeap, QueueKind::SkipQueue { strict: true }];
+    let rows = concurrency_figure(&opts, &kinds, 60_000, 27_000, 0.3);
+    finish_figure(
+        &opts,
+        "Figure 5: 70% deletions (27000 initial, 60000 ops, 30% inserts)",
+        "procs",
+        &rows,
+    );
+}

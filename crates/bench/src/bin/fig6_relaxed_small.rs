@@ -1,0 +1,25 @@
+//! Figure 6: SkipQueue vs Relaxed SkipQueue, small structure (50 initial,
+//! 7 000 operations, 50% inserts).
+//!
+//! Paper shape: the two variants track each other up to ~32 processors;
+//! beyond that the relaxed version deletes up to ~2x faster (no timestamp
+//! reads/tests on the scan) with a matching insert slowdown — faster
+//! deletions mean more processors are inserting at any moment.
+
+use pq_bench::{concurrency_figure, finish_figure, Options};
+use simpq::QueueKind;
+
+fn main() {
+    let opts = Options::from_args();
+    let kinds = [
+        QueueKind::SkipQueue { strict: true },
+        QueueKind::SkipQueue { strict: false },
+    ];
+    let rows = concurrency_figure(&opts, &kinds, 7_000, 50, 0.5);
+    finish_figure(
+        &opts,
+        "Figure 6: SkipQueue vs Relaxed, small structure (50 initial, 7000 ops)",
+        "procs",
+        &rows,
+    );
+}

@@ -1,0 +1,21 @@
+//! Figure 7: SkipQueue vs Relaxed SkipQueue, large structure (1000 initial,
+//! 7 000 operations, 50% inserts). Same comparison as Figure 6 on the
+//! larger queue.
+
+use pq_bench::{concurrency_figure, finish_figure, Options};
+use simpq::QueueKind;
+
+fn main() {
+    let opts = Options::from_args();
+    let kinds = [
+        QueueKind::SkipQueue { strict: true },
+        QueueKind::SkipQueue { strict: false },
+    ];
+    let rows = concurrency_figure(&opts, &kinds, 7_000, 1_000, 0.5);
+    finish_figure(
+        &opts,
+        "Figure 7: SkipQueue vs Relaxed, large structure (1000 initial, 7000 ops)",
+        "procs",
+        &rows,
+    );
+}

@@ -1,0 +1,20 @@
+//! Figure 8: SkipQueue vs Relaxed SkipQueue under the 70%-deletions
+//! workload (27 000 initial, 60 000 operations, 30% inserts).
+
+use pq_bench::{concurrency_figure, finish_figure, Options};
+use simpq::QueueKind;
+
+fn main() {
+    let opts = Options::from_args();
+    let kinds = [
+        QueueKind::SkipQueue { strict: true },
+        QueueKind::SkipQueue { strict: false },
+    ];
+    let rows = concurrency_figure(&opts, &kinds, 60_000, 27_000, 0.3);
+    finish_figure(
+        &opts,
+        "Figure 8: SkipQueue vs Relaxed, 70% deletions (27000 initial, 60000 ops)",
+        "procs",
+        &rows,
+    );
+}

@@ -1,0 +1,36 @@
+//! Quick calibration probe: one point per structure at several processor
+//! counts; prints latencies and wall-clock cost so figure binaries can be
+//! sized. Not part of the paper reproduction (see `fig*` binaries).
+
+use simpq::{run_workload, QueueKind, WorkloadConfig};
+
+fn main() {
+    for &nproc in &[1u32, 16, 64, 256] {
+        for kind in [
+            QueueKind::SkipQueue { strict: true },
+            QueueKind::HuntHeap,
+            QueueKind::FunnelList,
+        ] {
+            let cfg = WorkloadConfig {
+                queue: kind,
+                nproc,
+                initial_size: 50,
+                total_ops: 70_000,
+                insert_ratio: 0.5,
+                work_cycles: 100,
+                ..WorkloadConfig::default()
+            };
+            let t0 = std::time::Instant::now();
+            let r = run_workload(&cfg);
+            println!(
+                "{:<18} p={:<4} ins={:>9.0} del={:>9.0} makespan={:>12} wall={:?}",
+                kind.label(),
+                nproc,
+                r.insert.mean,
+                r.delete.mean,
+                r.final_time,
+                t0.elapsed()
+            );
+        }
+    }
+}

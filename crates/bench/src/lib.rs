@@ -1,0 +1,342 @@
+//! # pq-bench — harness utilities for regenerating the paper's figures
+//!
+//! Each `fig*` binary reproduces one table/figure of Lotan & Shavit's
+//! evaluation (see `DESIGN.md` for the per-experiment index). This library
+//! holds the shared machinery: the processor-count sweep, result rows,
+//! table/CSV formatting, and command-line scaling.
+//!
+//! All binaries accept:
+//!
+//! * `--scale <f>`  — multiply the paper's operation budget by `f`
+//!   (default 1.0; use e.g. `0.1` for a quick smoke run);
+//! * `--seed <n>`   — simulation seed (default the paper-reproduction seed);
+//! * `--max-procs <n>` — truncate the processor sweep;
+//! * `--csv <path>` — also write the series as CSV.
+
+#![warn(missing_docs)]
+
+use std::fmt::Write as _;
+
+use simpq::{run_workload, QueueKind, WorkloadConfig, WorkloadResult};
+
+/// The paper's processor sweep: powers of two, 1..=256.
+pub fn proc_sweep() -> Vec<u32> {
+    vec![1, 2, 4, 8, 16, 32, 64, 128, 256]
+}
+
+/// One measured point of a figure.
+#[derive(Clone, Debug)]
+pub struct Row {
+    /// Structure label (paper legend name).
+    pub kind: &'static str,
+    /// Processor count.
+    pub nproc: u32,
+    /// Swept x-value when it is not the processor count (Figure 2: work).
+    pub x: u64,
+    /// Mean insert latency, cycles.
+    pub insert_mean: f64,
+    /// Mean delete-min latency, cycles.
+    pub delete_mean: f64,
+    /// Mean latency over all operations, cycles.
+    pub overall_mean: f64,
+    /// Approximate 99th-percentile insert latency, cycles.
+    pub insert_p99: u64,
+    /// Approximate 99th-percentile delete-min latency, cycles.
+    pub delete_p99: u64,
+    /// Machine makespan, cycles.
+    pub final_time: u64,
+}
+
+impl Row {
+    /// Builds a row from a workload result.
+    pub fn from_result(kind: QueueKind, nproc: u32, x: u64, r: &WorkloadResult) -> Self {
+        Self {
+            kind: kind.label(),
+            nproc,
+            x,
+            insert_mean: r.insert.mean,
+            delete_mean: r.delete.mean,
+            overall_mean: r.overall.mean,
+            insert_p99: r.insert.p99,
+            delete_p99: r.delete.p99,
+            final_time: r.final_time,
+        }
+    }
+}
+
+/// Command-line options shared by all figure binaries.
+#[derive(Clone, Debug)]
+pub struct Options {
+    /// Operation-budget multiplier.
+    pub scale: f64,
+    /// Simulation seed.
+    pub seed: u64,
+    /// Upper bound on the processor sweep.
+    pub max_procs: u32,
+    /// Optional CSV output path.
+    pub csv: Option<String>,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Self {
+            scale: 1.0,
+            seed: 0xBE9C_4A11,
+            max_procs: 256,
+            csv: None,
+        }
+    }
+}
+
+impl Options {
+    /// Parses `std::env::args()`. Unknown flags abort with a usage message.
+    pub fn from_args() -> Self {
+        let mut opts = Self::default();
+        let mut args = std::env::args().skip(1);
+        while let Some(a) = args.next() {
+            let mut need = |name: &str| {
+                args.next()
+                    .unwrap_or_else(|| panic!("{name} requires a value"))
+            };
+            match a.as_str() {
+                "--scale" => opts.scale = need("--scale").parse().expect("bad --scale"),
+                "--seed" => opts.seed = need("--seed").parse().expect("bad --seed"),
+                "--max-procs" => {
+                    opts.max_procs = need("--max-procs").parse().expect("bad --max-procs")
+                }
+                "--csv" => opts.csv = Some(need("--csv")),
+                "--help" | "-h" => {
+                    eprintln!("options: [--scale f] [--seed n] [--max-procs n] [--csv path]");
+                    std::process::exit(0);
+                }
+                other => panic!("unknown option {other}"),
+            }
+        }
+        opts
+    }
+
+    /// Applies the scale to an operation budget, keeping at least one
+    /// operation per processor.
+    pub fn ops(&self, paper_ops: usize, nproc: u32) -> usize {
+        ((paper_ops as f64 * self.scale) as usize).max(nproc as usize)
+    }
+
+    /// The processor sweep truncated to `max_procs`.
+    pub fn procs(&self) -> Vec<u32> {
+        proc_sweep()
+            .into_iter()
+            .filter(|&p| p <= self.max_procs)
+            .collect()
+    }
+}
+
+/// Runs one structure at one point.
+pub fn measure(kind: QueueKind, nproc: u32, x: u64, cfg: &WorkloadConfig) -> Row {
+    let t0 = std::time::Instant::now();
+    let r = run_workload(cfg);
+    let row = Row::from_result(kind, nproc, x, &r);
+    eprintln!(
+        "  [{:>18} p={:<3} x={:<5}] ins={:>10.0} del={:>10.0} ({:.1?})",
+        row.kind,
+        nproc,
+        x,
+        row.insert_mean,
+        row.delete_mean,
+        t0.elapsed()
+    );
+    row
+}
+
+/// Prints a figure as two aligned tables (delete-min and insert, the
+/// paper's left/right panels).
+pub fn print_figure(title: &str, x_name: &str, rows: &[Row]) {
+    let kinds: Vec<&str> = {
+        let mut k: Vec<&str> = rows.iter().map(|r| r.kind).collect();
+        k.dedup();
+        let mut seen = Vec::new();
+        for x in k {
+            if !seen.contains(&x) {
+                seen.push(x);
+            }
+        }
+        seen
+    };
+    let xs: Vec<u64> = {
+        let mut v: Vec<u64> = rows.iter().map(|r| r.x).collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    };
+    println!("\n== {title} ==");
+    for (panel, sel) in [
+        ("delete-min latency (cycles)", 0),
+        ("insert latency (cycles)", 1),
+    ] {
+        println!("\n-- {panel} --");
+        let mut header = format!("{x_name:>9}");
+        for k in &kinds {
+            let _ = write!(header, " {k:>20}");
+        }
+        println!("{header}");
+        for &x in &xs {
+            let mut line = format!("{x:>9}");
+            for k in &kinds {
+                let cell = rows.iter().find(|r| r.kind == *k && r.x == x).map(|r| {
+                    if sel == 0 {
+                        r.delete_mean
+                    } else {
+                        r.insert_mean
+                    }
+                });
+                match cell {
+                    Some(v) => {
+                        let _ = write!(line, " {v:>20.0}");
+                    }
+                    None => {
+                        let _ = write!(line, " {:>20}", "-");
+                    }
+                }
+            }
+            println!("{line}");
+        }
+    }
+}
+
+/// Writes rows as CSV (also creates parent directories).
+pub fn write_csv(path: &str, rows: &[Row]) -> std::io::Result<()> {
+    use std::io::Write;
+    if let Some(dir) = std::path::Path::new(path).parent() {
+        std::fs::create_dir_all(dir)?;
+    }
+    let mut f = std::fs::File::create(path)?;
+    writeln!(
+        f,
+        "kind,nproc,x,insert_mean,delete_mean,overall_mean,insert_p99,delete_p99,final_time"
+    )?;
+    for r in rows {
+        writeln!(
+            f,
+            "{},{},{},{:.1},{:.1},{:.1},{},{},{}",
+            r.kind,
+            r.nproc,
+            r.x,
+            r.insert_mean,
+            r.delete_mean,
+            r.overall_mean,
+            r.insert_p99,
+            r.delete_p99,
+            r.final_time
+        )?;
+    }
+    Ok(())
+}
+
+/// Runs a standard concurrency-sweep figure: for every processor count and
+/// structure, one workload with the given parameters.
+pub fn concurrency_figure(
+    opts: &Options,
+    kinds: &[QueueKind],
+    paper_ops: usize,
+    initial_size: usize,
+    insert_ratio: f64,
+) -> Vec<Row> {
+    let mut rows = Vec::new();
+    for &kind in kinds {
+        for &nproc in &opts.procs() {
+            let cfg = WorkloadConfig {
+                queue: kind,
+                nproc,
+                initial_size,
+                total_ops: opts.ops(paper_ops, nproc),
+                insert_ratio,
+                work_cycles: 100,
+                seed: opts.seed,
+                ..WorkloadConfig::default()
+            };
+            rows.push(measure(kind, nproc, u64::from(nproc), &cfg));
+        }
+    }
+    rows
+}
+
+/// Emits the table and optional CSV for a finished figure.
+pub fn finish_figure(opts: &Options, title: &str, x_name: &str, rows: &[Row]) {
+    print_figure(title, x_name, rows);
+    if let Some(path) = &opts.csv {
+        write_csv(path, rows).expect("writing CSV");
+        eprintln!("wrote {path}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn proc_sweep_is_powers_of_two() {
+        let s = proc_sweep();
+        assert_eq!(s.first(), Some(&1));
+        assert_eq!(s.last(), Some(&256));
+        for w in s.windows(2) {
+            assert_eq!(w[1], w[0] * 2);
+        }
+    }
+
+    #[test]
+    fn ops_scaling_floors_at_nproc() {
+        let o = Options {
+            scale: 0.0001,
+            ..Options::default()
+        };
+        assert_eq!(o.ops(70_000, 64), 64);
+        let o1 = Options::default();
+        assert_eq!(o1.ops(70_000, 64), 70_000);
+    }
+
+    #[test]
+    fn procs_truncation() {
+        let o = Options {
+            max_procs: 16,
+            ..Options::default()
+        };
+        assert_eq!(o.procs(), vec![1, 2, 4, 8, 16]);
+    }
+
+    #[test]
+    fn csv_roundtrip() {
+        let rows = vec![Row {
+            kind: "SkipQueue",
+            nproc: 4,
+            x: 4,
+            insert_mean: 1.5,
+            delete_mean: 2.5,
+            overall_mean: 2.0,
+            insert_p99: 3,
+            delete_p99: 7,
+            final_time: 99,
+        }];
+        let path = std::env::temp_dir().join("pq_bench_csv_test.csv");
+        write_csv(path.to_str().unwrap(), &rows).unwrap();
+        let body = std::fs::read_to_string(&path).unwrap();
+        assert!(body.contains("SkipQueue,4,4,1.5,2.5,2.0,3,7,99"));
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn tiny_figure_runs_end_to_end() {
+        let opts = Options {
+            scale: 0.002,
+            max_procs: 4,
+            ..Options::default()
+        };
+        let rows = concurrency_figure(
+            &opts,
+            &[QueueKind::SkipQueue { strict: true }],
+            70_000,
+            50,
+            0.5,
+        );
+        assert_eq!(rows.len(), 3); // procs 1,2,4
+        assert!(rows.iter().all(|r| r.overall_mean > 0.0));
+    }
+}

@@ -1,0 +1,276 @@
+//! Node representation for the concurrent SkipQueue.
+//!
+//! Mirrors the paper's node layout (Figure 1): a key, a value, a `deleted`
+//! flag, a `timeStamp`, a whole-node lock, and per-level `{lock, next}`
+//! pairs. Writes to `levels[i].next` only ever happen while holding
+//! `levels[i].lock` of the owning node; reads are lock-free. All `unsafe`
+//! in the crate funnels through the small helpers here and in
+//! [`crate::queue`].
+
+use std::cell::UnsafeCell;
+use std::mem::ManuallyDrop;
+use std::sync::atomic::{AtomicBool, AtomicPtr, AtomicU64, Ordering};
+
+use parking_lot::lock_api::RawMutex as RawMutexApi;
+use parking_lot::RawMutex;
+
+/// Hard cap on tower height; `SkipQueue::with_params` enforces it.
+pub(crate) const MAX_HEIGHT: usize = 32;
+
+/// Internal ordering key: sentinels plus `(priority, unique sequence)`.
+///
+/// The sequence number makes every entry's key unique, so the physical
+/// delete can search for an exact identity and duplicate priorities pop in
+/// FIFO order.
+pub(crate) enum IKey<K> {
+    /// Head sentinel: smaller than everything.
+    NegInf,
+    /// A real entry. The priority is `ManuallyDrop` because the winning
+    /// `delete_min` moves it out while the node is still reachable by
+    /// concurrent readers (which only ever compare by shared reference).
+    Val(ManuallyDrop<K>, u64),
+    /// Tail sentinel: larger than everything.
+    PosInf,
+}
+
+impl<K: std::fmt::Debug> std::fmt::Debug for IKey<K> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IKey::NegInf => write!(f, "-inf"),
+            IKey::Val(k, seq) => write!(f, "({k:?}, #{seq})"),
+            IKey::PosInf => write!(f, "+inf"),
+        }
+    }
+}
+
+impl<K: Ord> IKey<K> {
+    fn rank(&self) -> u8 {
+        match self {
+            IKey::NegInf => 0,
+            IKey::Val(..) => 1,
+            IKey::PosInf => 2,
+        }
+    }
+}
+
+impl<K: Ord> PartialEq for IKey<K> {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (IKey::Val(a, sa), IKey::Val(b, sb)) => sa == sb && **a == **b,
+            _ => self.rank() == other.rank(),
+        }
+    }
+}
+
+impl<K: Ord> Eq for IKey<K> {}
+
+impl<K: Ord> PartialOrd for IKey<K> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<K: Ord> Ord for IKey<K> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        match (self, other) {
+            (IKey::Val(a, sa), IKey::Val(b, sb)) => a.cmp(b).then(sa.cmp(sb)),
+            _ => self.rank().cmp(&other.rank()),
+        }
+    }
+}
+
+/// One level of a node's tower: the forward pointer and the lock that
+/// guards *writes* to it.
+pub(crate) struct Level<K, V> {
+    pub lock: RawMutex,
+    pub next: AtomicPtr<Node<K, V>>,
+}
+
+/// A SkipQueue node. Allocated with [`Node::alloc`], freed with
+/// [`Node::dealloc`] (via the quiescence collector).
+pub(crate) struct Node<K, V> {
+    pub key: IKey<K>,
+    /// Present until the winning deleter extracts it.
+    pub value: UnsafeCell<Option<V>>,
+    /// Set (never cleared) by the deleter that moved the priority out of
+    /// `key`; tells `dealloc` not to drop it again.
+    pub key_taken: AtomicBool,
+    /// The logical-deletion mark, claimed with an atomic swap.
+    pub deleted: AtomicBool,
+    /// `TimestampClock::MAX_TIME` until the insert completes.
+    pub timestamp: AtomicU64,
+    /// Serializes whole-node phases: held for the full linking of an insert
+    /// and for the full unlinking of a delete.
+    pub node_lock: RawMutex,
+    pub levels: Box<[Level<K, V>]>,
+}
+
+impl<K, V> Node<K, V> {
+    /// Heap-allocates a node of the given height, fully unlinked, unmarked,
+    /// with `timeStamp = MAX_TIME`.
+    pub fn alloc(key: IKey<K>, value: Option<V>, height: usize) -> *mut Self {
+        assert!((1..=MAX_HEIGHT).contains(&height));
+        let levels = (0..height)
+            .map(|_| Level {
+                lock: RawMutex::INIT,
+                next: AtomicPtr::new(std::ptr::null_mut()),
+            })
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
+        Box::into_raw(Box::new(Node {
+            key,
+            value: UnsafeCell::new(value),
+            key_taken: AtomicBool::new(false),
+            deleted: AtomicBool::new(false),
+            timestamp: AtomicU64::new(u64::MAX),
+            node_lock: RawMutex::INIT,
+            levels,
+        }))
+    }
+
+    /// Frees a node, dropping any value still present and the priority if it
+    /// was not moved out by a deleter.
+    ///
+    /// # Safety
+    ///
+    /// `ptr` must have come from [`Node::alloc`], must not be freed twice,
+    /// and no other thread may access it concurrently or afterwards (the
+    /// collector's quiescence rule establishes this).
+    pub unsafe fn dealloc(ptr: *mut Self) {
+        // SAFETY: per contract, exclusive ownership.
+        let mut node = unsafe { Box::from_raw(ptr) };
+        if !node.key_taken.load(Ordering::Relaxed) {
+            if let IKey::Val(k, _) = &mut node.key {
+                // SAFETY: the key was never moved out (flag unset) and we
+                // hold the only reference; prevent a leak of K.
+                unsafe { ManuallyDrop::drop(k) };
+            }
+        } else if let IKey::Val(k, _) = &mut node.key {
+            // The priority was moved out; forget the shell so Box drop does
+            // not double-drop it. ManuallyDrop already guarantees this —
+            // nothing to do, the branch documents the invariant.
+            let _ = k;
+        }
+        // `value` and the rest drop normally with the Box.
+    }
+
+    /// Tower height (number of linked levels).
+    pub fn height(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Lock-free read of the level-`lvl` forward pointer.
+    pub fn next(&self, lvl: usize) -> *mut Self {
+        self.levels[lvl].next.load(Ordering::Acquire)
+    }
+
+    /// Moves the priority out of the node. Caller must be the unique winner
+    /// of the `deleted` swap and must hold the node lock.
+    ///
+    /// # Safety
+    ///
+    /// Must be called at most once per node, by the thread that won the
+    /// logical-deletion swap, on a node whose key is `IKey::Val`.
+    pub unsafe fn take_key(&self) -> K {
+        debug_assert!(self.deleted.load(Ordering::Relaxed));
+        self.key_taken.store(true, Ordering::Relaxed);
+        match &self.key {
+            // SAFETY: winner exclusivity (contract) makes this the only
+            // move-out; readers only compare through &K, and the bytes stay
+            // valid until dealloc.
+            IKey::Val(k, _) => unsafe { std::ptr::read(&**k) },
+            _ => unreachable!("take_key on a sentinel"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn val(k: u64, seq: u64) -> IKey<u64> {
+        IKey::Val(ManuallyDrop::new(k), seq)
+    }
+
+    #[test]
+    fn ikey_ordering() {
+        assert!(IKey::<u64>::NegInf < val(0, 0));
+        assert!(val(u64::MAX, u64::MAX) < IKey::PosInf);
+        assert!(IKey::<u64>::NegInf < IKey::PosInf);
+        assert!(val(1, 5) < val(2, 0));
+        assert!(val(1, 0) < val(1, 1), "ties broken by sequence");
+        assert_eq!(val(3, 3), val(3, 3));
+        assert_ne!(val(3, 3), val(3, 4));
+    }
+
+    #[test]
+    fn alloc_dealloc_roundtrip() {
+        let n = Node::alloc(val(7, 0), Some(String::from("payload")), 4);
+        unsafe {
+            assert_eq!((*n).height(), 4);
+            assert!((*n).next(0).is_null());
+            assert!(!(*n).deleted.load(Ordering::Relaxed));
+            assert_eq!((*n).timestamp.load(Ordering::Relaxed), u64::MAX);
+            Node::dealloc(n);
+        }
+    }
+
+    #[test]
+    fn take_key_prevents_double_drop() {
+        use std::sync::atomic::AtomicUsize;
+        static DROPS: AtomicUsize = AtomicUsize::new(0);
+
+        #[derive(PartialEq, Eq, PartialOrd, Ord)]
+        struct Tracked(u64);
+        impl Drop for Tracked {
+            fn drop(&mut self) {
+                DROPS.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+
+        let n = Node::alloc(IKey::Val(ManuallyDrop::new(Tracked(9)), 0), Some(()), 1);
+        unsafe {
+            (*n).deleted.store(true, Ordering::Relaxed);
+            let k = (*n).take_key();
+            assert_eq!(k.0, 9);
+            drop(k);
+            assert_eq!(DROPS.load(Ordering::SeqCst), 1);
+            Node::dealloc(n);
+        }
+        assert_eq!(DROPS.load(Ordering::SeqCst), 1, "dealloc must not re-drop");
+    }
+
+    #[test]
+    fn dealloc_drops_untaken_key_and_value() {
+        use std::sync::atomic::AtomicUsize;
+        static DROPS: AtomicUsize = AtomicUsize::new(0);
+
+        #[derive(PartialEq, Eq, PartialOrd, Ord)]
+        struct Tracked;
+        impl Drop for Tracked {
+            fn drop(&mut self) {
+                DROPS.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+
+        let n = Node::alloc(IKey::Val(ManuallyDrop::new(Tracked), 0), Some(Tracked), 2);
+        unsafe { Node::dealloc(n) };
+        assert_eq!(
+            DROPS.load(Ordering::SeqCst),
+            2,
+            "key and value both dropped"
+        );
+    }
+
+    #[test]
+    fn level_locks_are_independent() {
+        let n = Node::alloc(val(1, 1), Some(()), 3);
+        unsafe {
+            (*n).levels[0].lock.lock();
+            assert!((*n).levels[1].lock.try_lock());
+            (*n).levels[1].lock.unlock();
+            (*n).levels[0].lock.unlock();
+            Node::dealloc(n);
+        }
+    }
+}

@@ -1,0 +1,25 @@
+//! The priority-queue abstraction shared by every implementation in the
+//! workspace.
+
+/// A concurrent min-priority queue: the abstract data type of the paper's
+/// Section 4.2, shared references suffice for all operations.
+///
+/// `insert` adds an item with a priority; `delete_min` removes and returns
+/// an item of minimum priority, or `None` when the queue is (observed)
+/// empty. Duplicate priorities are allowed.
+pub trait PriorityQueue<K: Ord, V>: Sync {
+    /// Inserts `value` with priority `key`.
+    fn insert(&self, key: K, value: V);
+
+    /// Removes and returns an item of minimum priority, or `None` if the
+    /// queue appears empty.
+    fn delete_min(&self) -> Option<(K, V)>;
+
+    /// Approximate number of items (exact in quiescent states).
+    fn len(&self) -> usize;
+
+    /// True when [`PriorityQueue::len`] is zero.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}

@@ -1,0 +1,747 @@
+//! The concurrent SkipQueue (Lotan & Shavit, IPDPS 2000).
+//!
+//! Faithful to the paper's pseudo-code (Figures 9–11):
+//!
+//! * **`insert`** (Figure 10): search saves the predecessor at every level,
+//!   the new node is locked for the duration of linking, and levels are
+//!   connected bottom-to-top, each under the predecessor's level lock
+//!   re-validated by `get_lock` (Figure 9).
+//! * **`delete_min`** (Figure 11): traverse the bottom level from the head,
+//!   skipping nodes time-stamped after the traversal began, and claim the
+//!   first unmarked node with an atomic `SWAP` on its `deleted` flag. The
+//!   winner then performs Pugh's physical delete: top-down, two locks per
+//!   level, unlinking the node and pointing its forward pointer *backwards*
+//!   at its predecessor so concurrent traversals escape gracefully.
+//! * Unlinked nodes go to the quiescence collector ([`crate::gc`]).
+//!
+//! Locking invariant: a node's `levels[i].next` is only written while
+//! holding that node's `levels[i].lock`; reads are lock-free (`Acquire`).
+//! Because a deleter holds the predecessor's level lock while unlinking,
+//! holding a node's level lock also pins the node into the list at that
+//! level — which is what makes `get_lock`'s validation sound.
+
+use std::cell::Cell;
+use std::mem::ManuallyDrop;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+use parking_lot::lock_api::RawMutex as RawMutexApi;
+
+use crate::clock::TimestampClock;
+use crate::gc::Collector;
+use crate::node::{IKey, Node, MAX_HEIGHT};
+use crate::pq::PriorityQueue;
+
+/// Default cap on tower height (supports ~2^24 items comfortably).
+const DEFAULT_MAX_HEIGHT: usize = 24;
+
+/// The skiplist-based concurrent priority queue.
+///
+/// See the [crate docs](crate) for an overview and an example. All methods
+/// take `&self` and may be called from any number of threads (up to the
+/// `max_threads` configured at construction).
+pub struct SkipQueue<K, V> {
+    head: *mut Node<K, V>,
+    tail: *mut Node<K, V>,
+    clock: TimestampClock,
+    seq: AtomicU64,
+    len: AtomicUsize,
+    max_height: usize,
+    p_level: f64,
+    /// Strict mode runs the paper's time-stamp mechanism; relaxed mode (§5.4)
+    /// omits it and may return concurrently inserted items.
+    strict: bool,
+    gc: Collector<K, V>,
+}
+
+// SAFETY: the queue hands out no references into nodes; keys are compared
+// through &K from many threads (K: Sync via K: Send + Sync bound below) and
+// key/value move between threads (Send). All node mutation is synchronized
+// by the level/node locks and atomics as described in the module docs.
+unsafe impl<K: Send + Sync, V: Send> Send for SkipQueue<K, V> {}
+unsafe impl<K: Send + Sync, V: Send> Sync for SkipQueue<K, V> {}
+
+impl<K: Ord, V> Default for SkipQueue<K, V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+fn thread_rng_next() -> u64 {
+    thread_local! {
+        static STATE: Cell<u64> = const { Cell::new(0) };
+    }
+    STATE.with(|s| {
+        let mut x = s.get();
+        if x == 0 {
+            // Seed from a global counter + the TLS address for per-thread
+            // decorrelation; determinism across runs is not required here.
+            static SEED: AtomicU64 = AtomicU64::new(0x0DDB_1A5E_5BAD_5EED);
+            x = SEED
+                .fetch_add(0x9E37_79B9_7F4A_7C15, Ordering::Relaxed)
+                .wrapping_add(s as *const Cell<u64> as u64);
+            if x == 0 {
+                x = 1;
+            }
+        }
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        s.set(x);
+        x
+    })
+}
+
+impl<K: Ord, V> SkipQueue<K, V> {
+    /// Creates a queue with the paper's strict (time-stamped) semantics and
+    /// default parameters: height cap 24, level probability 1/2, up to 256
+    /// threads.
+    pub fn new() -> Self {
+        Self::with_params(DEFAULT_MAX_HEIGHT, 0.5, true, 256)
+    }
+
+    /// Creates the paper's *relaxed* variant (§5.4): no time stamps, so a
+    /// `delete_min` may return an item whose insert was concurrent with it.
+    pub fn new_relaxed() -> Self {
+        Self::with_params(DEFAULT_MAX_HEIGHT, 0.5, false, 256)
+    }
+
+    /// Full-control constructor.
+    ///
+    /// * `max_height` — tower cap, `1..=32`; ~log2 of the expected maximum
+    ///   queue size is ideal (the paper uses exactly this "simple method").
+    /// * `p_level` — probability a tower grows another level (paper: 1/2).
+    /// * `strict` — run the time-stamp ordering mechanism.
+    /// * `max_threads` — bound on distinct threads ever touching the queue.
+    pub fn with_params(max_height: usize, p_level: f64, strict: bool, max_threads: usize) -> Self {
+        assert!((1..=MAX_HEIGHT).contains(&max_height));
+        assert!(p_level > 0.0 && p_level < 1.0);
+        let tail = Node::alloc(IKey::PosInf, None, max_height);
+        let head = Node::alloc(IKey::NegInf, None, max_height);
+        // SAFETY: freshly allocated, exclusively owned here.
+        unsafe {
+            for lvl in 0..max_height {
+                (*head).levels[lvl].next.store(tail, Ordering::Relaxed);
+            }
+        }
+        Self {
+            head,
+            tail,
+            clock: TimestampClock::new(),
+            seq: AtomicU64::new(0),
+            len: AtomicUsize::new(0),
+            max_height,
+            p_level,
+            strict,
+            gc: Collector::new(max_threads),
+        }
+    }
+
+    /// Approximate number of items (exact when no operations are in flight).
+    pub fn len(&self) -> usize {
+        self.len.load(Ordering::Relaxed)
+    }
+
+    /// True when [`SkipQueue::len`] is zero.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Whether this queue runs the strict (time-stamped) protocol.
+    pub fn is_strict(&self) -> bool {
+        self.strict
+    }
+
+    fn random_height(&self) -> usize {
+        let mut h = 1;
+        let threshold = (self.p_level * 2f64.powi(32)) as u64;
+        while h < self.max_height && (thread_rng_next() & 0xFFFF_FFFF) < threshold {
+            h += 1;
+        }
+        h
+    }
+
+    /// Finds, for every level, the node with the largest key smaller than
+    /// `ikey` (Figure 10 lines 1–9 / Figure 11 lines 15–22).
+    ///
+    /// # Safety
+    ///
+    /// Caller must hold a GC pin for the duration.
+    unsafe fn search(&self, ikey: &IKey<K>) -> [*mut Node<K, V>; MAX_HEIGHT] {
+        let mut preds = [std::ptr::null_mut(); MAX_HEIGHT];
+        let mut node1 = self.head;
+        for lvl in (0..self.max_height).rev() {
+            // SAFETY (this block): pinned traversal; nodes we touch cannot
+            // be freed, and removed nodes' forward pointers lead back into
+            // the list (the paper's backward-pointer trick).
+            unsafe {
+                let mut node2 = (*node1).next(lvl);
+                while (*node2).key < *ikey {
+                    node1 = node2;
+                    node2 = (*node1).next(lvl);
+                }
+            }
+            preds[lvl] = node1;
+        }
+        preds
+    }
+
+    /// The paper's `getLock` (Figure 9): starting from `node1`, lock the
+    /// level-`lvl` pointer of the node with the largest key smaller than
+    /// `ikey`, re-validating (and hand-over-hand advancing) after each lock
+    /// acquisition.
+    ///
+    /// # Safety
+    ///
+    /// Caller must hold a GC pin; `node1` must be a node with key < `ikey`
+    /// reached during this pin. On return the caller holds
+    /// `(*result).levels[lvl].lock` and must unlock it.
+    unsafe fn get_lock(
+        &self,
+        mut node1: *mut Node<K, V>,
+        ikey: &IKey<K>,
+        lvl: usize,
+    ) -> *mut Node<K, V> {
+        // SAFETY: see function contract; all dereferences are of pinned,
+        // reachable nodes.
+        unsafe {
+            let mut node2 = (*node1).next(lvl);
+            while (*node2).key < *ikey {
+                node1 = node2;
+                node2 = (*node1).next(lvl);
+            }
+            (*node1).levels[lvl].lock.lock();
+            let mut node2 = (*node1).next(lvl);
+            while (*node2).key < *ikey {
+                // Something changed before we got the lock: move it forward.
+                (*node1).levels[lvl].lock.unlock();
+                node1 = node2;
+                (*node1).levels[lvl].lock.lock();
+                node2 = (*node1).next(lvl);
+            }
+            node1
+        }
+    }
+
+    /// Inserts `value` with priority `key` (Figure 10). Always adds an
+    /// entry; duplicate priorities are returned in insertion order.
+    pub fn insert(&self, key: K, value: V) {
+        let guard = self.gc.pin();
+        let height = self.random_height();
+        let ikey = IKey::Val(
+            ManuallyDrop::new(key),
+            self.seq.fetch_add(1, Ordering::Relaxed),
+        );
+        // SAFETY: pinned for the whole operation; locking protocol per
+        // module docs.
+        unsafe {
+            let preds = self.search(&ikey);
+            let node = Node::alloc(ikey, Some(value), height);
+            let ikey = &(*node).key;
+            // Lock the new node so no deleter can start unlinking it while
+            // its upper levels are still being connected (Figure 10 line 20).
+            (*node).node_lock.lock();
+            for lvl in 0..height {
+                let pred = self.get_lock(preds[lvl], ikey, lvl);
+                (*node).levels[lvl]
+                    .next
+                    .store((*pred).next(lvl), Ordering::Relaxed);
+                (*pred).levels[lvl].next.store(node, Ordering::Release);
+                (*pred).levels[lvl].lock.unlock();
+            }
+            (*node).node_lock.unlock();
+            // Figure 10 line 29: the time stamp is set only after the node
+            // is completely inserted.
+            (*node)
+                .timestamp
+                .store(self.clock.tick(), Ordering::Release);
+        }
+        self.len.fetch_add(1, Ordering::Relaxed);
+        drop(guard);
+    }
+
+    /// Removes and returns the minimum entry (Figure 11), or `None` if no
+    /// claimable entry is found.
+    ///
+    /// In strict mode the returned entry is the minimum over all inserts
+    /// that completed before this call began, minus already-claimed
+    /// deletions (the paper's Definition 1). In relaxed mode a concurrently
+    /// inserted smaller entry may be returned instead.
+    pub fn delete_min(&self) -> Option<(K, V)> {
+        let guard = self.gc.pin();
+        // Figure 11 line 1: note the time the search starts; only consider
+        // nodes stamped earlier. Relaxed mode considers everything.
+        let time = if self.strict {
+            self.clock.tick()
+        } else {
+            u64::MAX
+        };
+        // SAFETY: pinned for the whole operation.
+        unsafe {
+            let mut node1 = (*self.head).next(0);
+            let claimed = loop {
+                if node1 == self.tail {
+                    return None; // EMPTY
+                }
+                if (*node1).timestamp.load(Ordering::Acquire) < time
+                    && !(*node1).deleted.swap(true, Ordering::AcqRel)
+                {
+                    break node1;
+                }
+                node1 = (*node1).next(0);
+            };
+            self.len.fetch_sub(1, Ordering::Relaxed);
+            self.unlink(claimed);
+            // Extract the payload. We are the unique winner of the swap and
+            // the node is fully unlinked; nobody else touches key/value.
+            let value = (*(*claimed).value.get())
+                .take()
+                .expect("claimed node has a value");
+            let key = (*claimed).take_key();
+            self.gc.retire(&guard, claimed);
+            Some((key, value))
+        }
+    }
+
+    /// Pugh's physical delete (Figure 11 lines 15–37): re-search the
+    /// predecessors, lock the node, then unlink top-down with two locks per
+    /// level, leaving a backward pointer for concurrent traversals.
+    ///
+    /// # Safety
+    ///
+    /// Caller won the `deleted` swap on `node`, holds a GC pin, and `node`
+    /// is linked (its insert may still be completing — the node lock below
+    /// waits for it).
+    unsafe fn unlink(&self, node: *mut Node<K, V>) {
+        // SAFETY: see contract.
+        unsafe {
+            let ikey = &(*node).key;
+            let preds = self.search(ikey);
+            // Lock the whole node: ensures the insert finished linking every
+            // level (the inserter holds this lock throughout Figure 10).
+            (*node).node_lock.lock();
+            for lvl in (0..(*node).height()).rev() {
+                let pred = self.get_lock(preds[lvl], ikey, lvl);
+                debug_assert_eq!((*pred).next(lvl), node, "pred must point at victim");
+                (*node).levels[lvl].lock.lock();
+                (*pred).levels[lvl]
+                    .next
+                    .store((*node).next(lvl), Ordering::Release);
+                // Point the removed node's pointer *backwards* so traversals
+                // that still hold it re-enter the list before the gap
+                // (Section 2: "deletes first the pointer going into the
+                // node, and only then redirects the forward pointer").
+                (*node).levels[lvl].next.store(pred, Ordering::Release);
+                (*node).levels[lvl].lock.unlock();
+                (*pred).levels[lvl].lock.unlock();
+            }
+            (*node).node_lock.unlock();
+        }
+    }
+
+    /// Checks structural invariants. Takes `&mut self` so it can only run
+    /// quiescently (tests).
+    pub fn check_invariants(&mut self) {
+        // SAFETY: &mut self — no concurrent operations.
+        unsafe {
+            let mut count = 0usize;
+            for lvl in (0..self.max_height).rev() {
+                let mut prev = self.head;
+                let mut cur = (*prev).next(lvl);
+                while cur != self.tail {
+                    assert!((*prev).key < (*cur).key, "level {lvl} out of order");
+                    assert!((*cur).height() > lvl, "node linked above its height");
+                    assert!(
+                        !(*cur).deleted.load(Ordering::Relaxed),
+                        "marked node still linked in quiescent state"
+                    );
+                    if lvl == 0 {
+                        count += 1;
+                        assert_ne!(
+                            (*cur).timestamp.load(Ordering::Relaxed),
+                            u64::MAX,
+                            "linked node with incomplete insert in quiescent state"
+                        );
+                    }
+                    prev = cur;
+                    cur = (*cur).next(lvl);
+                }
+            }
+            assert_eq!(count, self.len(), "len out of sync with bottom level");
+        }
+    }
+
+    /// Forces a garbage-collection cycle; returns the number of nodes freed.
+    pub fn collect_garbage(&self) -> usize {
+        self.gc.collect()
+    }
+
+    /// Number of retired nodes not yet freed (diagnostics).
+    pub fn garbage_pending(&self) -> usize {
+        self.gc.pending()
+    }
+}
+
+impl<K: Ord, V> PriorityQueue<K, V> for SkipQueue<K, V>
+where
+    K: Send + Sync,
+    V: Send,
+{
+    fn insert(&self, key: K, value: V) {
+        SkipQueue::insert(self, key, value);
+    }
+
+    fn delete_min(&self) -> Option<(K, V)> {
+        SkipQueue::delete_min(self)
+    }
+
+    fn len(&self) -> usize {
+        SkipQueue::len(self)
+    }
+}
+
+impl<K: Ord, V> SkipQueue<K, V> {
+    /// Drains the queue in priority order. Requires exclusive access, so it
+    /// observes a quiescent state and returns *everything*.
+    pub fn drain_sorted(&mut self) -> Vec<(K, V)> {
+        let mut out = Vec::with_capacity(self.len());
+        while let Some(kv) = self.delete_min() {
+            out.push(kv);
+        }
+        out
+    }
+}
+
+impl<K, V> std::fmt::Debug for SkipQueue<K, V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SkipQueue")
+            .field("len", &self.len.load(Ordering::Relaxed))
+            .field("max_height", &self.max_height)
+            .field("strict", &self.strict)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<K: Ord, V> Extend<(K, V)> for SkipQueue<K, V> {
+    fn extend<T: IntoIterator<Item = (K, V)>>(&mut self, iter: T) {
+        for (k, v) in iter {
+            self.insert(k, v);
+        }
+    }
+}
+
+impl<K: Ord, V> FromIterator<(K, V)> for SkipQueue<K, V> {
+    fn from_iter<T: IntoIterator<Item = (K, V)>>(iter: T) -> Self {
+        let mut q = SkipQueue::new();
+        q.extend(iter);
+        q
+    }
+}
+
+impl<K, V> Drop for SkipQueue<K, V> {
+    fn drop(&mut self) {
+        // SAFETY: &mut self — exclusive. Free every node still linked at the
+        // bottom level, then the sentinels; the collector's own Drop frees
+        // retired nodes.
+        unsafe {
+            let mut cur = (*self.head).next(0);
+            while cur != self.tail {
+                let next = (*cur).next(0);
+                Node::dealloc(cur);
+                cur = next;
+            }
+            Node::dealloc(self.head);
+            Node::dealloc(self.tail);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BinaryHeap;
+    use std::sync::Arc;
+
+    #[test]
+    fn empty_queue() {
+        let q: SkipQueue<u64, u64> = SkipQueue::new();
+        assert!(q.is_empty());
+        assert_eq!(q.delete_min(), None);
+    }
+
+    #[test]
+    fn single_thread_ordering() {
+        let mut q = SkipQueue::new();
+        for k in [5u64, 1, 9, 3, 7, 0, 8, 2, 6, 4] {
+            q.insert(k, k * 10);
+        }
+        q.check_invariants();
+        for expect in 0..10u64 {
+            let (k, v) = q.delete_min().unwrap();
+            assert_eq!(k, expect);
+            assert_eq!(v, expect * 10);
+        }
+        assert_eq!(q.delete_min(), None);
+        q.check_invariants();
+    }
+
+    #[test]
+    fn duplicate_priorities_fifo() {
+        let q = SkipQueue::new();
+        q.insert(1u64, "a");
+        q.insert(1, "b");
+        q.insert(0, "z");
+        q.insert(1, "c");
+        assert_eq!(q.delete_min(), Some((0, "z")));
+        assert_eq!(q.delete_min(), Some((1, "a")));
+        assert_eq!(q.delete_min(), Some((1, "b")));
+        assert_eq!(q.delete_min(), Some((1, "c")));
+    }
+
+    #[test]
+    fn randomized_against_binary_heap() {
+        let mut q = SkipQueue::new();
+        let mut reference = BinaryHeap::new();
+        let mut state = 7u64;
+        for i in 0..5_000 {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            if state.is_multiple_of(3) {
+                let got = q.delete_min().map(|(k, _)| k);
+                let want = reference.pop().map(|std::cmp::Reverse(k)| k);
+                assert_eq!(got, want, "step {i}");
+            } else {
+                let k = state >> 32;
+                q.insert(k, ());
+                reference.push(std::cmp::Reverse(k));
+            }
+        }
+        assert_eq!(q.len(), reference.len());
+        q.check_invariants();
+    }
+
+    #[test]
+    fn concurrent_inserts_then_drain() {
+        let q = Arc::new(SkipQueue::new());
+        let per_thread = 500u64;
+        let threads = 8u64;
+        std::thread::scope(|s| {
+            for t in 0..threads {
+                let q = Arc::clone(&q);
+                s.spawn(move || {
+                    for i in 0..per_thread {
+                        q.insert(t * per_thread + i, t);
+                    }
+                });
+            }
+        });
+        let mut q = Arc::into_inner(q).unwrap();
+        q.check_invariants();
+        assert_eq!(q.len() as u64, threads * per_thread);
+        let mut prev = None;
+        let mut count = 0;
+        while let Some((k, _)) = q.delete_min() {
+            if let Some(p) = prev {
+                assert!(k > p, "out of order: {p} then {k}");
+            }
+            prev = Some(k);
+            count += 1;
+        }
+        assert_eq!(count, threads * per_thread);
+    }
+
+    #[test]
+    fn concurrent_mixed_workload_conserves_items() {
+        let q = Arc::new(SkipQueue::new());
+        let threads = 8usize;
+        let ops = 2_000usize;
+        let deleted: Vec<_> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..threads)
+                .map(|t| {
+                    let q = Arc::clone(&q);
+                    s.spawn(move || {
+                        let mut got = Vec::new();
+                        let mut state = (t as u64 + 1) * 0x9E37_79B9;
+                        let mut inserted = 0u64;
+                        for _ in 0..ops {
+                            state ^= state << 13;
+                            state ^= state >> 7;
+                            state ^= state << 17;
+                            if state.is_multiple_of(2) {
+                                q.insert(state >> 16, t as u64);
+                                inserted += 1;
+                            } else if let Some((k, _)) = q.delete_min() {
+                                got.push(k);
+                            }
+                        }
+                        (inserted, got)
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        let total_inserted: u64 = deleted.iter().map(|(i, _)| i).sum();
+        let total_deleted: usize = deleted.iter().map(|(_, g)| g.len()).sum();
+        assert_eq!(
+            q.len() as u64,
+            total_inserted - total_deleted as u64,
+            "conservation of items"
+        );
+        let mut q = Arc::into_inner(q).unwrap();
+        q.check_invariants();
+    }
+
+    #[test]
+    fn no_item_delivered_twice() {
+        let q = Arc::new(SkipQueue::new());
+        let n = 4_000u64;
+        for k in 0..n {
+            q.insert(k, ());
+        }
+        let mut all: Vec<u64> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..8)
+                .map(|_| {
+                    let q = Arc::clone(&q);
+                    s.spawn(move || {
+                        let mut got = Vec::new();
+                        while let Some((k, _)) = q.delete_min() {
+                            got.push(k);
+                        }
+                        got
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().unwrap())
+                .collect()
+        });
+        assert_eq!(all.len() as u64, n);
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len() as u64, n, "duplicates delivered");
+    }
+
+    #[test]
+    fn relaxed_mode_also_conserves_items() {
+        let q = Arc::new(SkipQueue::new_relaxed());
+        assert!(!q.is_strict());
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                let q = Arc::clone(&q);
+                s.spawn(move || {
+                    for i in 0..1_000u64 {
+                        q.insert(t * 10_000 + i, ());
+                        if i % 2 == 0 {
+                            q.delete_min();
+                        }
+                    }
+                });
+            }
+        });
+        let mut q = Arc::into_inner(q).unwrap();
+        q.check_invariants();
+        assert_eq!(q.len(), 4 * 1_000 - 4 * 500);
+    }
+
+    #[test]
+    fn garbage_is_eventually_reclaimed() {
+        let q: SkipQueue<u64, u64> = SkipQueue::new();
+        for k in 0..500 {
+            q.insert(k, k);
+        }
+        for _ in 0..500 {
+            q.delete_min().unwrap();
+        }
+        q.collect_garbage();
+        assert_eq!(q.garbage_pending(), 0);
+    }
+
+    #[test]
+    fn drop_frees_values() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        static DROPS: AtomicUsize = AtomicUsize::new(0);
+
+        struct Tracked;
+        impl Drop for Tracked {
+            fn drop(&mut self) {
+                DROPS.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+
+        {
+            let q = SkipQueue::new();
+            for k in 0..100u64 {
+                q.insert(k, Tracked);
+            }
+            for _ in 0..40 {
+                drop(q.delete_min().unwrap().1);
+            }
+        }
+        assert_eq!(DROPS.load(Ordering::SeqCst), 100);
+    }
+
+    #[test]
+    fn string_keys_and_values() {
+        let q: SkipQueue<String, String> = SkipQueue::new();
+        q.insert("banana".into(), "yellow".into());
+        q.insert("apple".into(), "red".into());
+        q.insert("cherry".into(), "dark".into());
+        assert_eq!(
+            q.delete_min(),
+            Some(("apple".to_string(), "red".to_string()))
+        );
+        assert_eq!(
+            q.delete_min(),
+            Some(("banana".to_string(), "yellow".to_string()))
+        );
+    }
+
+    #[test]
+    fn min_height_queue_works() {
+        let mut q: SkipQueue<u64, ()> = SkipQueue::with_params(1, 0.5, true, 4);
+        for k in [3u64, 1, 2] {
+            q.insert(k, ());
+        }
+        q.check_invariants();
+        assert_eq!(q.delete_min().map(|(k, _)| k), Some(1));
+    }
+
+    #[test]
+    fn drain_sorted_and_from_iterator() {
+        let mut q: SkipQueue<u64, &str> = [(3u64, "c"), (1, "a"), (2, "b")].into_iter().collect();
+        assert_eq!(q.len(), 3);
+        let drained = q.drain_sorted();
+        assert_eq!(drained, vec![(1, "a"), (2, "b"), (3, "c")]);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn extend_adds_items() {
+        let mut q: SkipQueue<u64, u64> = SkipQueue::new();
+        q.extend((0..10).map(|k| (k, k * 2)));
+        assert_eq!(q.len(), 10);
+        assert_eq!(q.delete_min(), Some((0, 0)));
+    }
+
+    #[test]
+    fn debug_output_mentions_fields() {
+        let q: SkipQueue<u64, u64> = SkipQueue::new();
+        q.insert(1, 1);
+        let s = format!("{q:?}");
+        assert!(s.contains("SkipQueue"));
+        assert!(s.contains("len"));
+        assert!(s.contains("strict"));
+    }
+
+    #[test]
+    fn strict_ordering_smoke() {
+        // A completed insert must be visible to a subsequent delete_min.
+        let q = SkipQueue::new();
+        for round in 0..200u64 {
+            q.insert(round, ());
+            let (k, _) = q.delete_min().expect("completed insert must be seen");
+            assert_eq!(k, round);
+        }
+    }
+}

@@ -1,0 +1,46 @@
+//! # funnel — combining funnels and the FunnelList priority queue
+//!
+//! The third structure in Lotan & Shavit's evaluation is **FunnelList**: a
+//! sorted linked list of items whose single lock is replaced by a
+//! **combining funnel** (Shavit & Zemach, PODC '98) so that many processors
+//! can access the list with reduced contention. Combining funnels are
+//! adaptive variants of combining trees: processors descend through layers
+//! of collision slots; when two meet, one *captures* the other's request and
+//! carries it along; whoever emerges from the bottom acquires the list lock
+//! and executes the whole combined batch, then distributes the results.
+//!
+//! * [`Funnel`] — a generic combining funnel: give it any request type and a
+//!   batch executor, and concurrent `run` calls will combine.
+//! * [`FunnelList`] — the paper's FunnelList: a sorted singly linked list
+//!   (latency *linear* in its length — which is exactly why it collapses in
+//!   the paper's large-structure benchmark) with a funnel front end. A
+//!   combiner inserts every batched item in one traversal and cuts as many
+//!   items off the head as it carries delete-min requests.
+//!
+//! ## Simplifications vs. the original combining funnel
+//!
+//! The published funnel adapts its width and depth on the fly and uses
+//! timed collision windows. Here width/depth are constructor parameters
+//! (defaults sized for the machine) and the collision window is a spin of
+//! fixed length; requests are capturable only while their owner is spinning
+//! in a collision slot, which gives the same combining behaviour with a
+//! simpler (and provable) ownership discipline. See `DESIGN.md`.
+//!
+//! ```
+//! use funnel::FunnelList;
+//! use skipqueue::PriorityQueue;
+//!
+//! let q: FunnelList<u64, &str> = FunnelList::new();
+//! q.insert(2, "two");
+//! q.insert(1, "one");
+//! assert_eq!(q.delete_min(), Some((1, "one")));
+//! ```
+
+#![warn(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
+
+pub mod combining;
+pub mod list;
+
+pub use combining::Funnel;
+pub use list::FunnelList;

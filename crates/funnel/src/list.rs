@@ -1,0 +1,278 @@
+//! The FunnelList priority queue: a sorted linked list behind a combining
+//! funnel.
+//!
+//! The list itself is deliberately naive — insertion cost is linear in the
+//! list length — because that is the structure the paper benchmarks: great
+//! at low concurrency and small sizes, terrible once the queue grows (its
+//! collapse in the large-structure benchmark is one of the paper's results).
+//! The funnel front end batches concurrent operations: one representative
+//! acquires the list lock, inserts all batched items in a single traversal,
+//! and cuts one item off the head per batched delete-min.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::Mutex;
+use skipqueue::PriorityQueue;
+
+use crate::combining::Funnel;
+
+enum Op<K, V> {
+    Insert(K, u64, V),
+    DeleteMin,
+}
+
+struct ListNode<K, V> {
+    key: K,
+    seq: u64,
+    value: V,
+    next: Option<Box<ListNode<K, V>>>,
+}
+
+/// A sorted singly linked list; all operations O(position).
+struct SortedList<K, V> {
+    head: Option<Box<ListNode<K, V>>>,
+    len: usize,
+}
+
+impl<K: Ord, V> SortedList<K, V> {
+    fn new() -> Self {
+        Self { head: None, len: 0 }
+    }
+
+    fn insert(&mut self, key: K, seq: u64, value: V) {
+        let mut cursor = &mut self.head;
+        loop {
+            match cursor {
+                Some(node) if (&node.key, node.seq) < (&key, seq) => {
+                    cursor = &mut cursor.as_mut().expect("matched Some").next;
+                }
+                _ => break,
+            }
+        }
+        let next = cursor.take();
+        *cursor = Some(Box::new(ListNode {
+            key,
+            seq,
+            value,
+            next,
+        }));
+        self.len += 1;
+    }
+
+    fn pop_front(&mut self) -> Option<(K, V)> {
+        let node = self.head.take()?;
+        self.head = node.next;
+        self.len -= 1;
+        Some((node.key, node.value))
+    }
+}
+
+impl<K, V> Drop for SortedList<K, V> {
+    fn drop(&mut self) {
+        // Iterative teardown: the default recursive Box drop overflows the
+        // stack on long lists.
+        let mut cur = self.head.take();
+        while let Some(mut node) = cur {
+            cur = node.next.take();
+        }
+    }
+}
+
+/// The FunnelList concurrent priority queue.
+pub struct FunnelList<K, V> {
+    funnel: Funnel<Op<K, V>, Option<(K, V)>>,
+    list: Mutex<SortedList<K, V>>,
+    seq: AtomicU64,
+}
+
+impl<K: Ord + Send, V: Send> Default for FunnelList<K, V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K: Ord + Send, V: Send> FunnelList<K, V> {
+    /// Creates a FunnelList with a machine-sized funnel.
+    pub fn new() -> Self {
+        Self::with_funnel(Funnel::for_machine())
+    }
+
+    /// Creates a FunnelList with an explicit funnel geometry.
+    fn with_funnel(funnel: Funnel<Op<K, V>, Option<(K, V)>>) -> Self {
+        Self {
+            funnel,
+            list: Mutex::new(SortedList::new()),
+            seq: AtomicU64::new(0),
+        }
+    }
+
+    /// Creates a FunnelList with the given first-layer width and depth.
+    pub fn with_geometry(width: usize, depth: usize) -> Self {
+        Self::with_funnel(Funnel::new(width, depth))
+    }
+
+    fn execute(list: &Mutex<SortedList<K, V>>, batch: Vec<Op<K, V>>) -> Vec<Option<(K, V)>> {
+        let mut list = list.lock();
+        batch
+            .into_iter()
+            .map(|op| match op {
+                Op::Insert(k, seq, v) => {
+                    list.insert(k, seq, v);
+                    None
+                }
+                Op::DeleteMin => list.pop_front(),
+            })
+            .collect()
+    }
+}
+
+impl<K: Ord + Send, V: Send> PriorityQueue<K, V> for FunnelList<K, V> {
+    fn insert(&self, key: K, value: V) {
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        let list = &self.list;
+        self.funnel.run(Op::Insert(key, seq, value), |batch| {
+            Self::execute(list, batch)
+        });
+    }
+
+    fn delete_min(&self) -> Option<(K, V)> {
+        let list = &self.list;
+        self.funnel
+            .run(Op::DeleteMin, |batch| Self::execute(list, batch))
+    }
+
+    fn len(&self) -> usize {
+        self.list.lock().len
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BinaryHeap;
+
+    #[test]
+    fn empty_list() {
+        let q: FunnelList<u64, ()> = FunnelList::new();
+        assert_eq!(q.delete_min(), None);
+        assert_eq!(PriorityQueue::len(&q), 0);
+    }
+
+    #[test]
+    fn single_thread_ordering() {
+        let q = FunnelList::new();
+        for k in [5u64, 1, 9, 3, 7] {
+            q.insert(k, k);
+        }
+        for expect in [1u64, 3, 5, 7, 9] {
+            assert_eq!(q.delete_min(), Some((expect, expect)));
+        }
+        assert_eq!(q.delete_min(), None);
+    }
+
+    #[test]
+    fn duplicates_fifo() {
+        let q = FunnelList::new();
+        q.insert(1u64, "a");
+        q.insert(1, "b");
+        q.insert(1, "c");
+        assert_eq!(q.delete_min(), Some((1, "a")));
+        assert_eq!(q.delete_min(), Some((1, "b")));
+        assert_eq!(q.delete_min(), Some((1, "c")));
+    }
+
+    #[test]
+    fn randomized_against_reference() {
+        let q = FunnelList::new();
+        let mut reference = BinaryHeap::new();
+        let mut state = 3u64;
+        for _ in 0..3_000 {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            if state.is_multiple_of(3) {
+                let got = q.delete_min().map(|(k, _)| k);
+                let want = reference.pop().map(|std::cmp::Reverse(k)| k);
+                assert_eq!(got, want);
+            } else {
+                let k = state >> 48;
+                q.insert(k, ());
+                reference.push(std::cmp::Reverse(k));
+            }
+        }
+    }
+
+    #[test]
+    fn concurrent_mixed_conserves_items() {
+        let q: FunnelList<u64, ()> = FunnelList::new();
+        let counts: Vec<(u64, u64)> = std::thread::scope(|s| {
+            (0..8u64)
+                .map(|t| {
+                    let q = &q;
+                    s.spawn(move || {
+                        let mut ins = 0;
+                        let mut del = 0;
+                        let mut state = (t + 1) * 0x1234_5677;
+                        for _ in 0..1_500 {
+                            state ^= state << 13;
+                            state ^= state >> 7;
+                            state ^= state << 17;
+                            if state % 2 == 0 {
+                                q.insert(state >> 32, ());
+                                ins += 1;
+                            } else if q.delete_min().is_some() {
+                                del += 1;
+                            }
+                        }
+                        (ins, del)
+                    })
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .collect()
+        });
+        let ins: u64 = counts.iter().map(|(i, _)| i).sum();
+        let del: u64 = counts.iter().map(|(_, d)| d).sum();
+        assert_eq!(PriorityQueue::len(&q) as u64, ins - del);
+    }
+
+    #[test]
+    fn concurrent_drain_no_duplicates() {
+        let q: FunnelList<u64, ()> = FunnelList::new();
+        for k in 0..2_000u64 {
+            q.insert(k, ());
+        }
+        let mut all: Vec<u64> = std::thread::scope(|s| {
+            (0..8)
+                .map(|_| {
+                    let q = &q;
+                    s.spawn(move || {
+                        let mut got = Vec::new();
+                        while let Some((k, _)) = q.delete_min() {
+                            got.push(k);
+                        }
+                        got
+                    })
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .flat_map(|h| h.join().unwrap())
+                .collect()
+        });
+        assert_eq!(all.len(), 2_000);
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), 2_000);
+    }
+
+    #[test]
+    fn long_list_drop_does_not_overflow_stack() {
+        // Build a long list cheaply (descending keys insert at the head).
+        let q: FunnelList<u64, ()> = FunnelList::new();
+        for k in (0..50_000u64).rev() {
+            q.insert(k, ());
+        }
+        drop(q); // recursive drop would overflow the stack here
+    }
+}

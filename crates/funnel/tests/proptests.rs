@@ -1,0 +1,82 @@
+//! Property-based tests of the combining funnel and FunnelList.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use proptest::prelude::*;
+
+use funnel::{Funnel, FunnelList};
+use skipqueue::PriorityQueue;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn funnel_is_exactly_once_for_any_geometry(
+        width in 1usize..16,
+        depth in 1usize..4,
+        inputs in prop::collection::vec(any::<u64>(), 1..80),
+    ) {
+        let f: Funnel<u64, u64> = Funnel::new(width, depth);
+        let count = AtomicU64::new(0);
+        for &x in &inputs {
+            let r = f.run(x, |batch| {
+                count.fetch_add(batch.len() as u64, Ordering::Relaxed);
+                batch.into_iter().map(|v| v.wrapping_add(1)).collect()
+            });
+            prop_assert_eq!(r, x.wrapping_add(1));
+        }
+        prop_assert_eq!(count.load(Ordering::Relaxed), inputs.len() as u64);
+    }
+
+    #[test]
+    fn funnel_list_matches_model(
+        ops in prop::collection::vec(
+            prop_oneof![3 => any::<u32>().prop_map(Some), 2 => Just(None)],
+            0..200,
+        ),
+        width in 1usize..8,
+        depth in 1usize..3,
+    ) {
+        let q: FunnelList<u32, u32> = FunnelList::with_geometry(width, depth);
+        let mut model: BinaryHeap<Reverse<u32>> = BinaryHeap::new();
+        for op in &ops {
+            match op {
+                Some(k) => {
+                    q.insert(*k, *k);
+                    model.push(Reverse(*k));
+                }
+                None => {
+                    prop_assert_eq!(
+                        q.delete_min().map(|(k, _)| k),
+                        model.pop().map(|Reverse(k)| k)
+                    );
+                }
+            }
+        }
+        prop_assert_eq!(PriorityQueue::len(&q), model.len());
+    }
+
+    #[test]
+    fn funnel_results_route_to_correct_caller_multithreaded(
+        threads in 2usize..6,
+        per in 10u64..200,
+    ) {
+        let f: Funnel<u64, u64> = Funnel::new(4, 2);
+        std::thread::scope(|s| {
+            for t in 0..threads as u64 {
+                let f = &f;
+                s.spawn(move || {
+                    for i in 0..per {
+                        let x = (t << 32) | i;
+                        let r = f.run(x, |batch| {
+                            batch.into_iter().map(|v| v ^ 0xFFFF).collect()
+                        });
+                        assert_eq!(r, x ^ 0xFFFF);
+                    }
+                });
+            }
+        });
+    }
+}

@@ -1,0 +1,316 @@
+//! An exact decision procedure for Definition 1 on *small* histories.
+//!
+//! [`History::check_strict`](crate::History::check_strict) verifies
+//! necessary conditions only. For histories with at most
+//! [`MAX_EXACT_DELETES`] delete-mins, this module decides the real
+//! question: **does there exist a serialization of the delete-mins,
+//! consistent with their real-time order, under which every delete returns
+//! `min(I − D)` (or EMPTY when `I − D = ∅`)?** — where `I` is the set of
+//! values whose inserts preceded the delete in real time, and `D` the
+//! values returned by deletes serialized before it.
+//!
+//! The search is a subset dynamic program: a set `S` of deletes is
+//! *feasible* if some `d ∈ S` can be serialized last — i.e. every delete
+//! outside `S` may legally come after `d`, and `d`'s return value equals
+//! `min(I_d − values(S ∖ {d}))`. `O(2^n · n)` over `n` deletes.
+//!
+//! Used by the test suites to validate the fast audit: on any history the
+//! exact checker accepts, the fast audit must report no violations.
+
+use std::collections::HashMap;
+
+use crate::{History, Op};
+
+/// Upper bound on delete-mins for the exact checker (subset DP).
+pub const MAX_EXACT_DELETES: usize = 20;
+
+/// Result of the exact check.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ExactOutcome {
+    /// A valid serialization exists.
+    Linearizable,
+    /// No valid serialization exists: the history violates Definition 1.
+    NotLinearizable,
+}
+
+#[derive(Clone, Debug)]
+struct Delete {
+    value: Option<u64>,
+    invoked: u64,
+    responded: u64,
+}
+
+impl History {
+    /// Exactly decides Definition 1. Panics if the history holds more than
+    /// [`MAX_EXACT_DELETES`] delete-mins (use
+    /// [`History::check_strict`](crate::History::check_strict) for large
+    /// histories).
+    pub fn check_strict_exact(&self) -> ExactOutcome {
+        // Inserts: value -> completion stamp. (Values are unique.)
+        let mut insert_done: HashMap<u64, u64> = HashMap::new();
+        for op in self.ops() {
+            if let Op::Insert {
+                value, responded, ..
+            } = op
+            {
+                insert_done.insert(*value, *responded);
+            }
+        }
+        let deletes: Vec<Delete> = self
+            .ops()
+            .iter()
+            .filter_map(|op| match op {
+                Op::DeleteMin {
+                    value,
+                    invoked,
+                    responded,
+                } => Some(Delete {
+                    value: *value,
+                    invoked: *invoked,
+                    responded: *responded,
+                }),
+                _ => None,
+            })
+            .collect();
+        let n = deletes.len();
+        assert!(
+            n <= MAX_EXACT_DELETES,
+            "exact checker limited to {MAX_EXACT_DELETES} deletes, got {n}"
+        );
+        // A returned value that was never inserted can never linearize.
+        for d in &deletes {
+            if let Some(v) = d.value {
+                if !insert_done.contains_key(&v) {
+                    return ExactOutcome::NotLinearizable;
+                }
+            }
+        }
+        if n == 0 {
+            return ExactOutcome::Linearizable;
+        }
+
+        // For delete i: the set of values inserted completely before it,
+        // sorted. I_i depends only on i.
+        let mut inserted_before: Vec<Vec<u64>> = Vec::with_capacity(n);
+        for d in &deletes {
+            let mut vs: Vec<u64> = insert_done
+                .iter()
+                .filter(|(_, done)| **done < d.invoked)
+                .map(|(v, _)| *v)
+                .collect();
+            vs.sort_unstable();
+            inserted_before.push(vs);
+        }
+
+        // feasible[S]: the deletes in S can form a valid serialization
+        // prefix. Iterative DP from the empty set.
+        let full: u32 = if n == 32 { u32::MAX } else { (1 << n) - 1 };
+        let mut feasible = vec![false; (full as usize) + 1];
+        feasible[0] = true;
+        for set in 1..=full {
+            let s = set as usize;
+            // Try every d in `set` as the LAST element of the prefix.
+            'candidates: for d in 0..n {
+                if set & (1 << d) == 0 {
+                    continue;
+                }
+                let rest = set & !(1 << d);
+                if !feasible[rest as usize] {
+                    continue;
+                }
+                // Real-time order: everything outside `set` must be allowed
+                // to come after d, i.e. no outside delete responded before
+                // d was invoked.
+                for o in 0..n {
+                    if set & (1 << o) == 0 && deletes[o].responded < deletes[d].invoked {
+                        continue 'candidates;
+                    }
+                }
+                // ...and everything inside `rest` must be allowed to come
+                // before d: no rest delete invoked after d responded.
+                for r in 0..n {
+                    if rest & (1 << r) != 0 && deletes[d].responded < deletes[r].invoked {
+                        continue 'candidates;
+                    }
+                }
+                // Semantic condition: d returns min(I_d - D) where D is the
+                // set of values returned by `rest`.
+                let expected = inserted_before[d]
+                    .iter()
+                    .find(|v| {
+                        !(0..n).any(|r| rest & (1 << r) != 0 && deletes[r].value == Some(**v))
+                    })
+                    .copied();
+                if deletes[d].value == expected {
+                    feasible[s] = true;
+                    break;
+                }
+                // EMPTY is also legal when I_d - D is empty — covered: then
+                // `expected` is None and compares against value == None.
+            }
+        }
+        if feasible[full as usize] {
+            ExactOutcome::Linearizable
+        } else {
+            ExactOutcome::NotLinearizable
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ins(value: u64, invoked: u64, responded: u64) -> Op {
+        Op::Insert {
+            value,
+            invoked,
+            responded,
+        }
+    }
+
+    fn del(value: Option<u64>, invoked: u64, responded: u64) -> Op {
+        Op::DeleteMin {
+            value,
+            invoked,
+            responded,
+        }
+    }
+
+    fn hist(ops: Vec<Op>) -> History {
+        let mut h = History::new();
+        for op in ops {
+            h.push(op);
+        }
+        h
+    }
+
+    #[test]
+    fn empty_history_linearizable() {
+        assert_eq!(
+            History::new().check_strict_exact(),
+            ExactOutcome::Linearizable
+        );
+    }
+
+    #[test]
+    fn sequential_correct_history() {
+        let h = hist(vec![
+            ins(5, 1, 2),
+            ins(3, 3, 4),
+            del(Some(3), 5, 6),
+            del(Some(5), 7, 8),
+            del(None, 9, 10),
+        ]);
+        assert_eq!(h.check_strict_exact(), ExactOutcome::Linearizable);
+    }
+
+    #[test]
+    fn wrong_order_rejected() {
+        let h = hist(vec![
+            ins(1, 1, 2),
+            ins(7, 3, 4),
+            del(Some(7), 5, 6),
+            del(Some(1), 7, 8),
+        ]);
+        assert_eq!(h.check_strict_exact(), ExactOutcome::NotLinearizable);
+    }
+
+    #[test]
+    fn overlapping_deletes_may_reorder() {
+        // The delete returning 7 overlaps the one returning 1: serializing
+        // the 1-delete first makes the history valid.
+        let h = hist(vec![
+            ins(1, 1, 2),
+            ins(7, 3, 4),
+            del(Some(1), 5, 9),
+            del(Some(7), 6, 8),
+        ]);
+        assert_eq!(h.check_strict_exact(), ExactOutcome::Linearizable);
+    }
+
+    #[test]
+    fn concurrent_insert_may_be_excluded() {
+        // 1's insert overlaps the delete: the delete may legally miss it.
+        let h = hist(vec![
+            ins(7, 1, 2),
+            ins(1, 3, 8),
+            del(Some(7), 4, 6),
+            del(Some(1), 9, 10),
+        ]);
+        assert_eq!(h.check_strict_exact(), ExactOutcome::Linearizable);
+    }
+
+    #[test]
+    fn strict_delete_must_not_return_concurrent_insert() {
+        // Definition 1's I contains only *preceding* inserts: a delete that
+        // returns a value whose insert did not respond before its
+        // invocation cannot linearize (the strict SkipQueue guarantees
+        // this; the relaxed one does not).
+        let h = hist(vec![ins(5, 3, 8), del(Some(5), 4, 6)]);
+        assert_eq!(h.check_strict_exact(), ExactOutcome::NotLinearizable);
+    }
+
+    #[test]
+    fn empty_return_with_available_item_rejected() {
+        let h = hist(vec![ins(2, 1, 2), del(None, 3, 4)]);
+        assert_eq!(h.check_strict_exact(), ExactOutcome::NotLinearizable);
+    }
+
+    #[test]
+    fn double_return_rejected() {
+        let h = hist(vec![ins(4, 1, 2), del(Some(4), 3, 4), del(Some(4), 5, 6)]);
+        assert_eq!(h.check_strict_exact(), ExactOutcome::NotLinearizable);
+    }
+
+    #[test]
+    fn uninserted_value_rejected() {
+        let h = hist(vec![del(Some(9), 1, 2)]);
+        assert_eq!(h.check_strict_exact(), ExactOutcome::NotLinearizable);
+    }
+
+    #[test]
+    fn real_time_order_of_deletes_respected() {
+        // d1 finished before d2 started, but only the reverse order is
+        // semantically valid -> not linearizable.
+        let h = hist(vec![
+            ins(1, 1, 2),
+            ins(2, 1, 2),
+            del(Some(2), 3, 4), // must come first in real time
+            del(Some(1), 5, 6),
+        ]);
+        assert_eq!(h.check_strict_exact(), ExactOutcome::NotLinearizable);
+    }
+
+    #[test]
+    fn exact_agrees_with_fast_audit_on_valid_histories() {
+        // The fast audit is a set of necessary conditions: whenever the
+        // exact checker accepts, the fast audit must find nothing.
+        let histories = vec![
+            hist(vec![ins(5, 1, 2), del(Some(5), 3, 4)]),
+            hist(vec![
+                ins(1, 1, 2),
+                ins(7, 3, 4),
+                del(Some(1), 5, 9),
+                del(Some(7), 6, 8),
+            ]),
+            hist(vec![ins(7, 1, 2), ins(1, 3, 8), del(Some(7), 4, 6)]),
+            hist(vec![del(None, 1, 2)]),
+        ];
+        for h in histories {
+            if h.check_strict_exact() == ExactOutcome::Linearizable {
+                assert!(h.check_strict().is_empty(), "fast audit false alarm");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "exact checker limited")]
+    fn too_many_deletes_panics() {
+        let mut h = History::new();
+        for i in 0..(MAX_EXACT_DELETES as u64 + 1) {
+            h.push(del(None, 2 * i + 1, 2 * i + 2));
+        }
+        h.check_strict_exact();
+    }
+}

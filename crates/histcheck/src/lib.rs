@@ -1,0 +1,475 @@
+//! # histcheck — auditing concurrent priority-queue histories
+//!
+//! Section 4 of *Skiplist-Based Concurrent Priority Queues* specifies
+//! correctness (Definition 1): for every `Delete_Min`, with `I` the set of
+//! values whose inserts **preceded it in real time** and `D` the values
+//! returned by delete-mins serialized before it, the operation returns
+//! `min(I − D)`, or `EMPTY` when `I − D = ∅`.
+//!
+//! This crate records timed operation histories from a running queue and
+//! audits them. Deciding the existence of a valid serialization is
+//! expensive in general, so [`History::check_strict`] verifies a set of
+//! **necessary** conditions that every Definition-1-conforming history
+//! satisfies — sound (no false alarms) and strong enough to catch lost
+//! items, duplicated items, and ordering violations:
+//!
+//! 1. **Integrity** — every returned value was inserted, and at most once.
+//! 2. **Anti-loss (order)** — if a delete `d` returned `w`, then every
+//!    value `v < w` whose insert *completed before `d` was invoked* must be
+//!    returned by some delete that was invoked before `d` responded (a
+//!    delete serialized before `d` cannot begin after `d` ends).
+//! 3. **Anti-loss (EMPTY)** — if `d` returned `EMPTY`, the same holds for
+//!    *every* value inserted completely before `d`.
+//!
+//! The relaxed SkipQueue (§5.4) satisfies a weaker contract; use
+//! [`History::check_integrity`] for it.
+//!
+//! Timestamps come from any monotonic source shared by the recording
+//! threads ([`TicketClock`] is provided). All values must be unique — use a
+//! sequence number in the value payload.
+
+#![warn(missing_docs)]
+
+pub mod exact;
+
+pub use exact::{ExactOutcome, MAX_EXACT_DELETES};
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Monotonic stamp source: unique, totally ordered tickets.
+#[derive(Debug, Default)]
+pub struct TicketClock {
+    counter: AtomicU64,
+}
+
+impl TicketClock {
+    /// A clock starting at 1.
+    pub fn new() -> Self {
+        Self {
+            counter: AtomicU64::new(1),
+        }
+    }
+
+    /// A fresh stamp, strictly greater than any stamp whose `tick` call
+    /// completed before this one began.
+    pub fn tick(&self) -> u64 {
+        self.counter.fetch_add(1, Ordering::SeqCst)
+    }
+}
+
+/// One recorded operation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Op {
+    /// An insert of a (unique) value.
+    Insert {
+        /// The inserted value.
+        value: u64,
+        /// Stamp taken before the insert was invoked.
+        invoked: u64,
+        /// Stamp taken after the insert responded.
+        responded: u64,
+    },
+    /// A delete-min.
+    DeleteMin {
+        /// Returned value, or `None` for EMPTY.
+        value: Option<u64>,
+        /// Stamp taken before the delete was invoked.
+        invoked: u64,
+        /// Stamp taken after it responded.
+        responded: u64,
+    },
+}
+
+/// A violation found by an audit.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Violation {
+    /// A value was returned that no insert produced.
+    ReturnedNeverInserted {
+        /// The offending value.
+        value: u64,
+    },
+    /// The same value was returned by two delete-mins.
+    ReturnedTwice {
+        /// The duplicated value.
+        value: u64,
+    },
+    /// A smaller, completely-inserted value was skipped and never accounted
+    /// for by an earlier-or-overlapping delete (condition 2/3 above).
+    LostSmallerValue {
+        /// The value that should have been returned first.
+        missing: u64,
+        /// What the delete actually returned (`None` = EMPTY).
+        returned: Option<u64>,
+    },
+}
+
+/// A recorded history of insert / delete-min operations.
+#[derive(Clone, Debug, Default)]
+pub struct History {
+    ops: Vec<Op>,
+}
+
+impl History {
+    /// An empty history.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends one recorded operation.
+    pub fn push(&mut self, op: Op) {
+        self.ops.push(op);
+    }
+
+    /// Merges per-thread histories into one.
+    pub fn merge(parts: impl IntoIterator<Item = History>) -> Self {
+        let mut all = History::new();
+        for p in parts {
+            all.ops.extend(p.ops);
+        }
+        all
+    }
+
+    /// Number of recorded operations.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// True when nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Recorded operations.
+    pub fn ops(&self) -> &[Op] {
+        &self.ops
+    }
+
+    /// Checks integrity only: every returned value was inserted, none
+    /// twice. The appropriate audit for the relaxed SkipQueue.
+    pub fn check_integrity(&self) -> Vec<Violation> {
+        let mut violations = Vec::new();
+        let mut inserted: HashMap<u64, ()> = HashMap::new();
+        for op in &self.ops {
+            if let Op::Insert { value, .. } = op {
+                if inserted.insert(*value, ()).is_some() {
+                    panic!("history invalid: value {value} inserted twice (values must be unique)");
+                }
+            }
+        }
+        let mut returned: HashMap<u64, u32> = HashMap::new();
+        for op in &self.ops {
+            if let Op::DeleteMin { value: Some(v), .. } = op {
+                *returned.entry(*v).or_insert(0) += 1;
+            }
+        }
+        for (v, n) in &returned {
+            if !inserted.contains_key(v) {
+                violations.push(Violation::ReturnedNeverInserted { value: *v });
+            }
+            if *n > 1 {
+                violations.push(Violation::ReturnedTwice { value: *v });
+            }
+        }
+        violations
+    }
+
+    /// Full strict audit: integrity plus the Definition-1 anti-loss
+    /// conditions (see crate docs). Returns all violations found.
+    pub fn check_strict(&self) -> Vec<Violation> {
+        let mut violations = self.check_integrity();
+
+        // Index: for every value, when its insert completed.
+        let mut insert_done: HashMap<u64, u64> = HashMap::new();
+        for op in &self.ops {
+            if let Op::Insert {
+                value, responded, ..
+            } = op
+            {
+                insert_done.insert(*value, *responded);
+            }
+        }
+        // Index: for every returned value, when its delete was invoked.
+        let mut delete_inv: HashMap<u64, u64> = HashMap::new();
+        for op in &self.ops {
+            if let Op::DeleteMin {
+                value: Some(v),
+                invoked,
+                ..
+            } = op
+            {
+                delete_inv.insert(*v, *invoked);
+            }
+        }
+
+        // Sorted values with completed inserts, for range scans.
+        let mut completed: Vec<(u64, u64)> = insert_done.iter().map(|(v, t)| (*v, *t)).collect();
+        completed.sort_unstable();
+
+        for op in &self.ops {
+            let Op::DeleteMin {
+                value,
+                invoked,
+                responded,
+            } = op
+            else {
+                continue;
+            };
+            let upper = value.unwrap_or(u64::MAX);
+            // Every v < returned (or every v, for EMPTY) inserted completely
+            // before `invoked` must have been claimed by a delete invoked
+            // before `responded`.
+            for (v, ins_done) in completed.iter().take_while(|(v, _)| *v < upper) {
+                if ins_done < invoked {
+                    match delete_inv.get(v) {
+                        Some(dinv) if dinv < responded => {}
+                        _ => violations.push(Violation::LostSmallerValue {
+                            missing: *v,
+                            returned: *value,
+                        }),
+                    }
+                }
+            }
+        }
+        violations
+    }
+}
+
+/// Convenience recorder: wraps a clock and a per-thread history.
+///
+/// ```
+/// use histcheck::{Recorder, TicketClock};
+///
+/// let clock = TicketClock::new();
+/// let mut rec = Recorder::new(&clock);
+/// let mut queue = std::collections::BinaryHeap::new(); // min via Reverse
+/// rec.insert(5, || queue.push(std::cmp::Reverse(5)));
+/// let got = rec.delete_min(|| queue.pop().map(|std::cmp::Reverse(v)| v));
+/// assert_eq!(got, Some(5));
+/// assert!(rec.finish().check_strict().is_empty());
+/// ```
+#[derive(Debug)]
+pub struct Recorder<'c> {
+    clock: &'c TicketClock,
+    history: History,
+}
+
+impl<'c> Recorder<'c> {
+    /// A recorder stamping against `clock`.
+    pub fn new(clock: &'c TicketClock) -> Self {
+        Self {
+            clock,
+            history: History::new(),
+        }
+    }
+
+    /// Records an insert around the closure that performs it.
+    pub fn insert(&mut self, value: u64, f: impl FnOnce()) {
+        let invoked = self.clock.tick();
+        f();
+        let responded = self.clock.tick();
+        self.history.push(Op::Insert {
+            value,
+            invoked,
+            responded,
+        });
+    }
+
+    /// Records a delete-min around the closure that performs it.
+    pub fn delete_min(&mut self, f: impl FnOnce() -> Option<u64>) -> Option<u64> {
+        let invoked = self.clock.tick();
+        let value = f();
+        let responded = self.clock.tick();
+        self.history.push(Op::DeleteMin {
+            value,
+            invoked,
+            responded,
+        });
+        value
+    }
+
+    /// Consumes the recorder, yielding its history.
+    pub fn finish(self) -> History {
+        self.history
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ins(value: u64, invoked: u64, responded: u64) -> Op {
+        Op::Insert {
+            value,
+            invoked,
+            responded,
+        }
+    }
+
+    fn del(value: Option<u64>, invoked: u64, responded: u64) -> Op {
+        Op::DeleteMin {
+            value,
+            invoked,
+            responded,
+        }
+    }
+
+    #[test]
+    fn empty_history_passes() {
+        assert!(History::new().check_strict().is_empty());
+    }
+
+    #[test]
+    fn sequential_correct_history_passes() {
+        let mut h = History::new();
+        h.push(ins(5, 1, 2));
+        h.push(ins(3, 3, 4));
+        h.push(del(Some(3), 5, 6));
+        h.push(del(Some(5), 7, 8));
+        h.push(del(None, 9, 10));
+        assert!(h.check_strict().is_empty());
+    }
+
+    #[test]
+    fn returning_uninserted_value_is_flagged() {
+        let mut h = History::new();
+        h.push(del(Some(9), 1, 2));
+        assert_eq!(
+            h.check_strict(),
+            vec![Violation::ReturnedNeverInserted { value: 9 }]
+        );
+    }
+
+    #[test]
+    fn double_return_is_flagged() {
+        let mut h = History::new();
+        h.push(ins(4, 1, 2));
+        h.push(del(Some(4), 3, 4));
+        h.push(del(Some(4), 5, 6));
+        assert!(h
+            .check_strict()
+            .contains(&Violation::ReturnedTwice { value: 4 }));
+    }
+
+    #[test]
+    fn skipping_smaller_completed_insert_is_flagged() {
+        let mut h = History::new();
+        h.push(ins(1, 1, 2));
+        h.push(ins(7, 3, 4));
+        // Returns 7 although 1 was fully inserted before and nobody took it.
+        h.push(del(Some(7), 5, 6));
+        assert_eq!(
+            h.check_strict(),
+            vec![Violation::LostSmallerValue {
+                missing: 1,
+                returned: Some(7),
+            }]
+        );
+    }
+
+    #[test]
+    fn empty_with_completed_insert_is_flagged() {
+        let mut h = History::new();
+        h.push(ins(2, 1, 2));
+        h.push(del(None, 3, 4));
+        assert_eq!(
+            h.check_strict(),
+            vec![Violation::LostSmallerValue {
+                missing: 2,
+                returned: None,
+            }]
+        );
+    }
+
+    #[test]
+    fn concurrent_smaller_insert_is_not_required() {
+        let mut h = History::new();
+        // Insert of 1 overlaps the delete (invoked 3 < responded 5 of ins).
+        h.push(ins(7, 1, 2));
+        h.push(ins(1, 3, 8));
+        h.push(del(Some(7), 4, 6));
+        h.push(del(Some(1), 9, 10));
+        assert!(h.check_strict().is_empty());
+    }
+
+    #[test]
+    fn smaller_value_taken_by_overlapping_delete_is_fine() {
+        let mut h = History::new();
+        h.push(ins(1, 1, 2));
+        h.push(ins(7, 3, 4));
+        // Two overlapping deletes race; the one returning 7 is fine because
+        // the one returning 1 was invoked before it responded.
+        h.push(del(Some(1), 5, 9));
+        h.push(del(Some(7), 6, 8));
+        assert!(h.check_strict().is_empty());
+    }
+
+    #[test]
+    fn smaller_value_taken_only_later_is_flagged() {
+        let mut h = History::new();
+        h.push(ins(1, 1, 2));
+        h.push(ins(7, 3, 4));
+        h.push(del(Some(7), 5, 6));
+        // 1 is only claimed by a delete invoked after the first responded.
+        h.push(del(Some(1), 7, 8));
+        assert_eq!(
+            h.check_strict(),
+            vec![Violation::LostSmallerValue {
+                missing: 1,
+                returned: Some(7),
+            }]
+        );
+    }
+
+    #[test]
+    fn integrity_only_accepts_relaxed_reordering() {
+        let mut h = History::new();
+        h.push(ins(1, 1, 2));
+        h.push(ins(7, 3, 4));
+        h.push(del(Some(7), 5, 6)); // strict violation
+        h.push(del(Some(1), 7, 8));
+        assert!(h.check_integrity().is_empty());
+        assert!(!h.check_strict().is_empty());
+    }
+
+    #[test]
+    fn recorder_builds_consistent_history() {
+        let clock = TicketClock::new();
+        let mut r = Recorder::new(&clock);
+        r.insert(5, || {});
+        let got = r.delete_min(|| Some(5));
+        assert_eq!(got, Some(5));
+        let h = r.finish();
+        assert_eq!(h.len(), 2);
+        assert!(h.check_strict().is_empty());
+    }
+
+    #[test]
+    fn merge_combines_thread_histories() {
+        let clock = TicketClock::new();
+        let mut a = Recorder::new(&clock);
+        a.insert(1, || {});
+        let mut b = Recorder::new(&clock);
+        b.delete_min(|| Some(1));
+        let h = History::merge([a.finish(), b.finish()]);
+        assert_eq!(h.len(), 2);
+        assert!(h.check_strict().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "inserted twice")]
+    fn duplicate_insert_values_rejected() {
+        let mut h = History::new();
+        h.push(ins(1, 1, 2));
+        h.push(ins(1, 3, 4));
+        h.check_strict();
+    }
+
+    #[test]
+    fn ticket_clock_is_strictly_increasing() {
+        let c = TicketClock::new();
+        let a = c.tick();
+        let b = c.tick();
+        assert!(b > a);
+    }
+}

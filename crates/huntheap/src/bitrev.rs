@@ -1,0 +1,103 @@
+//! The bit-reversal position sequence of Hunt et al.
+//!
+//! Consecutive insertions into a binary heap normally target consecutive
+//! array slots, whose root-ward paths share most of their nodes — so
+//! concurrent bottom-up insertions collide. Hunt et al. instead map the
+//! `c`-th item to the slot whose *within-level* bits are the bit-reversal of
+//! `c`'s: consecutive insertions then land in different subtrees and their
+//! paths to the root are maximally disjoint.
+//!
+//! The original paper maintains the reversed counter incrementally; we
+//! compute it directly (O(log c) per call, branch-free reversal), which
+//! yields the identical sequence.
+
+/// Maps the `count`-th heap item (1-based) to its array position.
+///
+/// The position is in the same heap level as `count` (same most-significant
+/// bit); the bits below the MSB are reversed. `pos(1)=1, pos(2)=2, pos(3)=3,
+/// pos(4)=4, pos(5)=6, pos(6)=5, pos(7)=7, pos(8)=8, pos(9)=12, ...`
+pub fn bit_reversed_position(count: usize) -> usize {
+    assert!(count >= 1, "heap positions are 1-based");
+    let width = usize::BITS - 1 - count.leading_zeros(); // bits below the MSB
+    let msb = 1usize << width;
+    let low = count & !msb;
+    let reversed = if width == 0 {
+        0
+    } else {
+        low.reverse_bits() >> (usize::BITS - width)
+    };
+    msb | reversed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_positions_match_known_sequence() {
+        let got: Vec<usize> = (1..=15).map(bit_reversed_position).collect();
+        assert_eq!(got, vec![1, 2, 3, 4, 6, 5, 7, 8, 12, 10, 14, 9, 13, 11, 15]);
+    }
+
+    #[test]
+    fn stays_within_level() {
+        for c in 1..10_000usize {
+            let p = bit_reversed_position(c);
+            let level = usize::BITS - c.leading_zeros();
+            let plevel = usize::BITS - p.leading_zeros();
+            assert_eq!(level, plevel, "count {c} mapped across levels to {p}");
+        }
+    }
+
+    #[test]
+    fn is_a_permutation_of_each_level() {
+        for level in 0..12u32 {
+            let start = 1usize << level;
+            let end = 1usize << (level + 1);
+            let mut seen = vec![false; end - start];
+            for c in start..end {
+                let p = bit_reversed_position(c);
+                assert!(!seen[p - start], "duplicate position {p}");
+                seen[p - start] = true;
+            }
+            assert!(seen.iter().all(|&s| s));
+        }
+    }
+
+    #[test]
+    fn prefix_positions_have_their_parents() {
+        // The set {pos(1..=n)} must be "heap-shaped": every occupied slot's
+        // parent is occupied. This is what makes take-the-last-item valid.
+        let n = 4096;
+        let mut occupied = std::collections::HashSet::new();
+        for c in 1..=n {
+            let p = bit_reversed_position(c);
+            if p > 1 {
+                assert!(
+                    occupied.contains(&(p / 2)),
+                    "parent of {p} missing at count {c}"
+                );
+            }
+            occupied.insert(p);
+        }
+    }
+
+    #[test]
+    fn consecutive_positions_diverge_quickly() {
+        // Adjacent counts in a full level should fall in different subtrees
+        // of the root (their top-level bit after the MSB differs).
+        let mut same = 0;
+        let mut total = 0;
+        for c in 64..128usize {
+            let a = bit_reversed_position(c);
+            let b = bit_reversed_position(c + 1);
+            // Subtree of the root: second-most-significant bit.
+            let sub = |x: usize| (x >> (usize::BITS - 2 - x.leading_zeros())) & 1;
+            if c + 1 < 128 && sub(a) == sub(b) {
+                same += 1;
+            }
+            total += 1;
+        }
+        assert!(same <= total / 8, "paths do not diverge: {same}/{total}");
+    }
+}

@@ -1,0 +1,482 @@
+//! The concurrent heap itself.
+//!
+//! Faithful to Hunt et al. (IPL '96): per-node locks + tags, a single size
+//! lock, bit-reversed insertion targets, bottom-up insertion, top-down
+//! deletion. See the crate docs for the overview.
+
+use crossbeam_utils::CachePadded;
+use parking_lot::{Mutex, MutexGuard};
+use skipqueue::PriorityQueue;
+
+use crate::bitrev::bit_reversed_position;
+
+/// Per-node tag: lets concurrent operations recognize that the item they
+/// are shepherding has been moved from under them.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Tag {
+    /// Slot holds no item.
+    Empty,
+    /// Slot holds a settled item.
+    Available,
+    /// Slot holds an item whose insertion (owned by the thread with this
+    /// token) is still walking toward the root.
+    Busy(usize),
+}
+
+#[derive(Debug)]
+struct Slot<K, V> {
+    tag: Tag,
+    item: Option<(K, V)>,
+}
+
+/// A stable nonzero token identifying the current thread.
+fn thread_token() -> usize {
+    thread_local! {
+        static TOKEN: u8 = const { 0 };
+    }
+    TOKEN.with(|t| t as *const u8 as usize)
+}
+
+/// The Hunt et al. concurrent binary min-heap.
+///
+/// Fixed capacity (the paper pre-allocates the array — listed by Lotan &
+/// Shavit as one of the heap's disadvantages); inserting into a full heap
+/// panics.
+pub struct HuntHeap<K, V> {
+    /// The single size lock — the algorithm's serialization point.
+    size: Mutex<usize>,
+    /// 1-based array of heap nodes, each under its own lock. Sized to the
+    /// full top level: bit-reversed positions for a count `c` range over
+    /// `c`'s entire heap level, so the array extends to the next power of
+    /// two above `capacity`.
+    slots: Box<[CachePadded<Mutex<Slot<K, V>>>]>,
+    /// Maximum number of items (`size` bound).
+    capacity: usize,
+}
+
+impl<K: Ord, V> HuntHeap<K, V> {
+    /// Creates a heap able to hold `capacity` items.
+    pub fn with_capacity(capacity: usize) -> Self {
+        assert!(capacity >= 1);
+        // Highest bit-reversed position any count <= capacity can map to.
+        let max_pos = (capacity + 1).next_power_of_two() - 1;
+        let slots = (0..=max_pos)
+            .map(|_| {
+                CachePadded::new(Mutex::new(Slot {
+                    tag: Tag::Empty,
+                    item: None,
+                }))
+            })
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
+        Self {
+            size: Mutex::new(0),
+            slots,
+            capacity,
+        }
+    }
+
+    /// Maximum number of items the heap can hold.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current number of items.
+    pub fn len(&self) -> usize {
+        *self.size.lock()
+    }
+
+    /// True when the heap holds no items.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn lock_slot(&self, i: usize) -> MutexGuard<'_, Slot<K, V>> {
+        self.slots[i].lock()
+    }
+
+    /// Inserts `value` with priority `key`.
+    ///
+    /// Panics if the heap is at capacity (matching the paper's pre-allocated
+    /// array).
+    pub fn insert(&self, key: K, value: V) {
+        let me = Tag::Busy(thread_token());
+
+        // Phase 1: take the size lock, claim the bit-reversed target slot,
+        // place the item tagged with our id, release both.
+        let mut i = {
+            let mut size = self.size.lock();
+            assert!(*size < self.capacity, "HuntHeap capacity exhausted");
+            *size += 1;
+            let i = bit_reversed_position(*size);
+            let mut slot = self.lock_slot(i);
+            // Drop the size lock as soon as the target is locked
+            // ("it is not held for the duration of the operation").
+            drop(size);
+            debug_assert_eq!(slot.tag, Tag::Empty);
+            slot.tag = me;
+            slot.item = Some((key, value));
+            i
+        };
+
+        // Phase 2: walk toward the root, swapping with larger parents.
+        // Tags disambiguate the races: the item may have been moved up by a
+        // concurrent delete's sift-down (chase it via `i = parent`) or
+        // consumed entirely (parent EMPTY).
+        while i > 1 {
+            let parent = i / 2;
+            let mut p = self.lock_slot(parent);
+            let mut c = self.lock_slot(i);
+            if p.tag == Tag::Available && c.tag == me {
+                let swap = {
+                    let ck = &c.item.as_ref().expect("busy slot has item").0;
+                    let pk = &p.item.as_ref().expect("available slot has item").0;
+                    ck < pk
+                };
+                if swap {
+                    std::mem::swap(&mut p.item, &mut c.item);
+                    // Our item moves up (keeps our tag); the displaced item
+                    // stays settled.
+                    c.tag = Tag::Available;
+                    p.tag = me;
+                    drop(c);
+                    drop(p);
+                    i = parent;
+                } else {
+                    c.tag = Tag::Available;
+                    i = 0;
+                }
+            } else if p.tag == Tag::Empty {
+                // A delete consumed our item (it had been moved to the root
+                // region and removed).
+                i = 0;
+            } else if c.tag != me {
+                // Our item was swapped upward by someone else; chase it.
+                i = parent;
+            }
+            // Otherwise the parent is Busy with another insertion: retry the
+            // same position (locks were released; the other insert makes
+            // progress).
+        }
+        if i == 1 {
+            let mut root = self.lock_slot(1);
+            if root.tag == me {
+                root.tag = Tag::Available;
+            }
+        }
+    }
+
+    /// Removes and returns an item of minimum priority, or `None` if empty.
+    pub fn delete_min(&self) -> Option<(K, V)> {
+        // Phase 1: under the size lock, claim the last occupied position and
+        // extract its item.
+        let (mut last_key, mut last_val) = {
+            let mut size = self.size.lock();
+            if *size == 0 {
+                return None;
+            }
+            let bound = *size;
+            *size -= 1;
+            let i = bit_reversed_position(bound);
+            let mut slot = self.lock_slot(i);
+            drop(size);
+            // The last item may still be Busy (its insert is walking up);
+            // taking it is fine — the inserter's tag checks handle it.
+            let item = slot.item.take().expect("last slot must hold an item");
+            slot.tag = Tag::Empty;
+            item
+        };
+
+        // Phase 2: swap the extracted item with the root, then sift down.
+        let mut cur = self.lock_slot(1);
+        if cur.tag == Tag::Empty {
+            // The last item *was* the root (single-element heap).
+            return Some((last_key, last_val));
+        }
+        {
+            let root_item = cur.item.as_mut().expect("non-empty root has item");
+            std::mem::swap(&mut root_item.0, &mut last_key);
+            std::mem::swap(&mut root_item.1, &mut last_val);
+        }
+        cur.tag = Tag::Available;
+
+        // Sift down with hand-over-hand parent→child locking (always lock
+        // the smaller index first: parents before children, left before
+        // right — a global order, so no deadlock).
+        let mut i = 1usize;
+        loop {
+            let left_idx = 2 * i;
+            if left_idx >= self.slots.len() {
+                break;
+            }
+            let left = self.lock_slot(left_idx);
+            let right = if left_idx + 1 < self.slots.len() {
+                Some(self.lock_slot(left_idx + 1))
+            } else {
+                None
+            };
+            // Pick the smaller settled child.
+            let left_ok = left.tag != Tag::Empty && left.item.is_some();
+            let right_ok = right
+                .as_ref()
+                .map(|r| r.tag != Tag::Empty && r.item.is_some())
+                .unwrap_or(false);
+            let (mut child, child_idx) = match (left_ok, right_ok) {
+                (false, false) => break,
+                (true, false) => {
+                    drop(right);
+                    (left, left_idx)
+                }
+                (false, true) => {
+                    drop(left);
+                    (right.expect("checked"), left_idx + 1)
+                }
+                (true, true) => {
+                    let l = &left.item.as_ref().expect("checked").0;
+                    let r = &right
+                        .as_ref()
+                        .expect("checked")
+                        .item
+                        .as_ref()
+                        .expect("checked")
+                        .0;
+                    if l <= r {
+                        drop(right);
+                        (left, left_idx)
+                    } else {
+                        drop(left);
+                        (right.expect("checked"), left_idx + 1)
+                    }
+                }
+            };
+            let should_swap = {
+                let ck = &child.item.as_ref().expect("checked").0;
+                let mk = &cur.item.as_ref().expect("sifting item present").0;
+                ck < mk
+            };
+            if should_swap {
+                std::mem::swap(&mut cur.item, &mut child.item);
+                // Tags: the item we push down is settled; the child's tag
+                // (possibly Busy: an insert chasing it will follow) moves
+                // with its item.
+                std::mem::swap(&mut child.tag, &mut cur.tag);
+                drop(cur);
+                cur = child;
+                i = child_idx;
+            } else {
+                break;
+            }
+        }
+        Some((last_key, last_val))
+    }
+
+    /// Verifies the heap property over all settled items. `&mut self`:
+    /// quiescent states only (tests).
+    pub fn check_invariants(&mut self) {
+        let size = *self.size.lock();
+        let occupied: Vec<usize> = (1..=size).map(bit_reversed_position).collect();
+        for &pos in &occupied {
+            let slot = self.slots[pos].lock();
+            assert_ne!(slot.tag, Tag::Empty, "occupied slot {pos} is EMPTY");
+            assert!(slot.item.is_some(), "occupied slot {pos} has no item");
+        }
+        for &pos in &occupied {
+            if pos == 1 {
+                continue;
+            }
+            let parent = self.slots[pos / 2].lock();
+            let child = self.slots[pos].lock();
+            let pk = &parent.item.as_ref().expect("checked").0;
+            let ck = &child.item.as_ref().expect("checked").0;
+            assert!(pk <= ck, "heap property violated at {pos}");
+        }
+    }
+}
+
+impl<K, V> std::fmt::Debug for HuntHeap<K, V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HuntHeap")
+            .field("capacity", &(self.slots.len() - 1))
+            .finish_non_exhaustive()
+    }
+}
+
+impl<K: Ord + Send + Sync, V: Send> PriorityQueue<K, V> for HuntHeap<K, V> {
+    fn insert(&self, key: K, value: V) {
+        HuntHeap::insert(self, key, value);
+    }
+
+    fn delete_min(&self) -> Option<(K, V)> {
+        HuntHeap::delete_min(self)
+    }
+
+    fn len(&self) -> usize {
+        HuntHeap::len(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BinaryHeap;
+    use std::sync::Arc;
+
+    #[test]
+    fn empty_heap() {
+        let h: HuntHeap<u64, ()> = HuntHeap::with_capacity(8);
+        assert!(h.is_empty());
+        assert_eq!(h.delete_min(), None);
+    }
+
+    #[test]
+    fn single_thread_ordering() {
+        let mut h = HuntHeap::with_capacity(64);
+        for k in [5u64, 1, 9, 3, 7, 0, 8, 2, 6, 4] {
+            h.insert(k, k * 2);
+        }
+        h.check_invariants();
+        for expect in 0..10u64 {
+            assert_eq!(h.delete_min(), Some((expect, expect * 2)));
+        }
+        assert_eq!(h.delete_min(), None);
+    }
+
+    #[test]
+    fn randomized_against_reference() {
+        let mut h = HuntHeap::with_capacity(4096);
+        let mut reference = BinaryHeap::new();
+        let mut state = 99u64;
+        for i in 0..20_000 {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            if state.is_multiple_of(3) {
+                let got = h.delete_min().map(|(k, _)| k);
+                let want = reference.pop().map(|std::cmp::Reverse(k)| k);
+                assert_eq!(got, want, "step {i}");
+            } else if reference.len() < 4000 {
+                let k = state >> 32;
+                h.insert(k, ());
+                reference.push(std::cmp::Reverse(k));
+            }
+        }
+        h.check_invariants();
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity exhausted")]
+    fn overflow_panics() {
+        let h = HuntHeap::with_capacity(2);
+        h.insert(1u64, ());
+        h.insert(2, ());
+        h.insert(3, ());
+    }
+
+    #[test]
+    fn concurrent_inserts_then_drain_sorted() {
+        let h = Arc::new(HuntHeap::with_capacity(10_000));
+        std::thread::scope(|s| {
+            for t in 0..8u64 {
+                let h = Arc::clone(&h);
+                s.spawn(move || {
+                    for i in 0..1_000u64 {
+                        h.insert(t * 1_000 + i, t);
+                    }
+                });
+            }
+        });
+        let mut h = Arc::into_inner(h).unwrap();
+        assert_eq!(h.len(), 8_000);
+        h.check_invariants();
+        let mut prev = None;
+        for _ in 0..8_000 {
+            let (k, _) = h.delete_min().unwrap();
+            if let Some(p) = prev {
+                assert!(k >= p);
+            }
+            prev = Some(k);
+        }
+        assert!(h.is_empty());
+    }
+
+    #[test]
+    fn concurrent_mixed_conserves_items() {
+        let h = Arc::new(HuntHeap::with_capacity(100_000));
+        // Pre-fill so deletes mostly succeed.
+        for k in 0..1_000u64 {
+            h.insert(k, ());
+        }
+        let results: Vec<(u64, u64)> = std::thread::scope(|s| {
+            (0..8)
+                .map(|t| {
+                    let h = Arc::clone(&h);
+                    s.spawn(move || {
+                        let mut ins = 0u64;
+                        let mut del = 0u64;
+                        let mut state = (t + 1) as u64 * 0x9E37_79B9;
+                        for _ in 0..2_000 {
+                            state ^= state << 13;
+                            state ^= state >> 7;
+                            state ^= state << 17;
+                            if state.is_multiple_of(2) {
+                                h.insert(state >> 16, ());
+                                ins += 1;
+                            } else if h.delete_min().is_some() {
+                                del += 1;
+                            }
+                        }
+                        (ins, del)
+                    })
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|j| j.join().unwrap())
+                .collect()
+        });
+        let ins: u64 = 1_000 + results.iter().map(|(i, _)| i).sum::<u64>();
+        let del: u64 = results.iter().map(|(_, d)| d).sum();
+        let mut h = Arc::into_inner(h).unwrap();
+        assert_eq!(h.len() as u64, ins - del);
+        h.check_invariants();
+    }
+
+    #[test]
+    fn no_duplicates_under_concurrent_drain() {
+        let h = Arc::new(HuntHeap::with_capacity(5_000));
+        for k in 0..4_000u64 {
+            h.insert(k, ());
+        }
+        let mut all: Vec<u64> = std::thread::scope(|s| {
+            (0..8)
+                .map(|_| {
+                    let h = Arc::clone(&h);
+                    s.spawn(move || {
+                        let mut got = Vec::new();
+                        while let Some((k, _)) = h.delete_min() {
+                            got.push(k);
+                        }
+                        got
+                    })
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .flat_map(|j| j.join().unwrap())
+                .collect()
+        });
+        assert_eq!(all.len(), 4_000);
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), 4_000);
+    }
+
+    #[test]
+    fn duplicate_priorities_supported() {
+        let h = HuntHeap::with_capacity(16);
+        h.insert(1u64, "a");
+        h.insert(1, "b");
+        h.insert(0, "c");
+        assert_eq!(h.delete_min().unwrap().0, 0);
+        assert_eq!(h.delete_min().unwrap().0, 1);
+        assert_eq!(h.delete_min().unwrap().0, 1);
+    }
+}

@@ -1,0 +1,47 @@
+//! # huntheap — the Hunt et al. concurrent priority-queue heap
+//!
+//! A from-scratch implementation of G. Hunt, M. Michael, S. Parthasarathy
+//! and M. Scott, *An Efficient Algorithm for Concurrent Priority Queue
+//! Heaps* (Information Processing Letters 60(3), 1996) — the strongest
+//! heap-based competitor in Lotan & Shavit's evaluation and the `Heap`
+//! series of every figure in their paper.
+//!
+//! The algorithm in brief:
+//!
+//! * an array-based binary min-heap with **one lock per node** plus a single
+//!   lock protecting the heap's size;
+//! * **insertions traverse bottom-up**, swapping with the parent while the
+//!   new item's priority is smaller, using per-node *tags*
+//!   (`EMPTY`/`AVAILABLE`/owner-id) so concurrent operations can detect that
+//!   an item they were tracking has been moved;
+//! * consecutive insertions start at **bit-reversed** positions of the
+//!   insertion counter, so their root-ward paths are disjoint and do not
+//!   contend (module [`bitrev`]);
+//! * **deletions proceed top-down**: the last item replaces the root, which
+//!   is then sifted down with hand-over-hand child locking.
+//!
+//! The size lock is held only briefly, but — as the SkipQueue paper's
+//! evaluation shows — it and the root region become the scalability
+//! bottleneck at high processor counts. This crate exists to reproduce that
+//! behaviour faithfully.
+//!
+//! ```
+//! use huntheap::HuntHeap;
+//! use skipqueue::PriorityQueue;
+//!
+//! let heap: HuntHeap<u64, &str> = HuntHeap::with_capacity(1024);
+//! heap.insert(3, "three");
+//! heap.insert(1, "one");
+//! assert_eq!(heap.delete_min(), Some((1, "one")));
+//! ```
+
+#![warn(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
+
+pub mod bitrev;
+pub mod heap;
+pub mod locked;
+
+pub use bitrev::bit_reversed_position;
+pub use heap::HuntHeap;
+pub use locked::LockedBinaryHeap;

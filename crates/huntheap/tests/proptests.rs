@@ -1,0 +1,100 @@
+//! Property-based tests of the Hunt heap and its bit-reversal counter.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use proptest::prelude::*;
+
+use huntheap::{bit_reversed_position, HuntHeap};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn heap_matches_model_for_any_sequence(
+        ops in prop::collection::vec(
+            prop_oneof![3 => any::<u32>().prop_map(Some), 2 => Just(None)],
+            0..400,
+        ),
+    ) {
+        let q: HuntHeap<u32, u32> = HuntHeap::with_capacity(512);
+        let mut model: BinaryHeap<Reverse<u32>> = BinaryHeap::new();
+        for op in &ops {
+            match op {
+                Some(k) if model.len() < 512 => {
+                    q.insert(*k, *k);
+                    model.push(Reverse(*k));
+                }
+                Some(_) => {}
+                None => {
+                    prop_assert_eq!(
+                        q.delete_min().map(|(k, _)| k),
+                        model.pop().map(|Reverse(k)| k)
+                    );
+                }
+            }
+        }
+        prop_assert_eq!(q.len(), model.len());
+    }
+
+    #[test]
+    fn bitrev_roundtrips_within_level(c in 1usize..100_000) {
+        // pos is an involution composed with itself inside a level: applying
+        // the level-local reversal twice gives back c.
+        let p = bit_reversed_position(c);
+        let back = bit_reversed_position(p);
+        prop_assert_eq!(back, c);
+    }
+
+    #[test]
+    fn bitrev_keeps_parent_filled_under_interleaved_sizes(
+        deltas in prop::collection::vec(any::<bool>(), 1..200),
+    ) {
+        // Simulate a size counter moving up and down; the occupied set
+        // {pos(1..=size)} must stay heap-shaped at every step.
+        let mut size = 0usize;
+        for grow in deltas {
+            if grow {
+                size += 1;
+            } else {
+                size = size.saturating_sub(1);
+            }
+            if size >= 2 {
+                let last = bit_reversed_position(size);
+                if last > 1 {
+                    // Parent must be one of pos(1..size).
+                    let parent = last / 2;
+                    let filled = (1..=size).map(bit_reversed_position).any(|p| p == parent);
+                    prop_assert!(filled, "size {size}: parent of {last} missing");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn drain_after_concurrent_inserts_is_sorted(
+        keys in prop::collection::vec(any::<u32>(), 8..120),
+    ) {
+        let q: std::sync::Arc<HuntHeap<u32, ()>> =
+            std::sync::Arc::new(HuntHeap::with_capacity(keys.len() + 1));
+        let chunk = keys.len().div_ceil(4);
+        std::thread::scope(|s| {
+            for part in keys.chunks(chunk) {
+                let q = std::sync::Arc::clone(&q);
+                let part = part.to_vec();
+                s.spawn(move || {
+                    for k in part {
+                        q.insert(k, ());
+                    }
+                });
+            }
+        });
+        let mut expect = keys.clone();
+        expect.sort_unstable();
+        let mut got = Vec::new();
+        while let Some((k, _)) = q.delete_min() {
+            got.push(k);
+        }
+        prop_assert_eq!(got, expect);
+    }
+}

@@ -1,0 +1,161 @@
+//! The machine cost model: how many cycles each globally visible operation
+//! costs, including queueing at contended locations.
+//!
+//! The paper measures latency in machine cycles on a simulated Alewife-like
+//! ccNUMA. We do not model caches or the mesh network topology in detail;
+//! instead each shared word is served by its home memory module with a fixed
+//! service occupancy, and requests queue when the module is busy (the classic
+//! hot-spot model of Pfister & Norton). This captures the two effects the
+//! paper's curves hinge on: remote accesses are much more expensive than
+//! local work, and contended words (heap root, size lock, list head)
+//! serialize their accessors.
+
+use crate::{Cycles, Pid};
+
+/// Cycle costs for globally visible operations.
+///
+/// Defaults approximate an Alewife-class machine: a handful of cycles for a
+/// local memory access, tens of cycles for a remote one, and a per-access
+/// occupancy at the serving module that makes hot words queue.
+#[derive(Clone, Debug)]
+pub struct CostModel {
+    /// Cycles for a load/store served by the accessor's own node.
+    pub mem_local: Cycles,
+    /// Round-trip network cycles for a remote access (on top of service).
+    pub mem_remote: Cycles,
+    /// Occupancy of the serving memory module per access; consecutive
+    /// accesses to the same word are separated by at least this many cycles.
+    pub mem_service: Cycles,
+    /// Extra occupancy for read-modify-write operations (SWAP, FETCH&ADD,
+    /// CAS, lock acquisition) over a plain read/write.
+    pub rmw_extra: Cycles,
+    /// Cycles to read the globally synchronized hardware clock.
+    pub clock_read: Cycles,
+    /// Cycles charged when a released lock is handed to a queued waiter
+    /// (wake-up / rescheduling latency).
+    pub lock_handoff: Cycles,
+    /// Local cycles charged for allocating a block of shared memory
+    /// (bookkeeping only; allocation is served from a per-node pool).
+    pub alloc_cost: Cycles,
+    /// Local instruction cycles charged around every globally visible
+    /// operation (address arithmetic, compares, branches). Proteus counts
+    /// every instruction; this models the code surrounding each access.
+    pub instr_overhead: Cycles,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        Self {
+            mem_local: 2,
+            mem_remote: 36,
+            mem_service: 16,
+            rmw_extra: 8,
+            clock_read: 4,
+            lock_handoff: 32,
+            alloc_cost: 16,
+            instr_overhead: 10,
+        }
+    }
+}
+
+impl CostModel {
+    /// A cost model with uniform single-cycle accesses and no queueing —
+    /// useful in unit tests where exact timing arithmetic matters.
+    pub fn unit() -> Self {
+        Self {
+            mem_local: 1,
+            mem_remote: 1,
+            mem_service: 0,
+            rmw_extra: 0,
+            clock_read: 1,
+            lock_handoff: 0,
+            alloc_cost: 0,
+            instr_overhead: 0,
+        }
+    }
+
+    /// Base (uncontended) latency of an access by `pid` to a word homed at
+    /// `home`.
+    pub fn base_latency(&self, pid: Pid, home: Pid) -> Cycles {
+        if pid == home {
+            self.mem_local
+        } else {
+            self.mem_remote
+        }
+    }
+
+    /// Computes the completion time of an access issued at `now` to a word
+    /// whose module is busy until `busy_until`, and the new `busy_until`.
+    ///
+    /// The request travels half the round trip, waits for the module to be
+    /// free, occupies it for the service time, and travels back.
+    pub fn access(
+        &self,
+        now: Cycles,
+        busy_until: Cycles,
+        pid: Pid,
+        home: Pid,
+        rmw: bool,
+    ) -> (Cycles, Cycles) {
+        let base = self.base_latency(pid, home);
+        let service = self.mem_service + if rmw { self.rmw_extra } else { 0 };
+        let arrive = now + base / 2;
+        let start = arrive.max(busy_until);
+        let done_at_module = start + service;
+        let completion = done_at_module + (base - base / 2);
+        (completion, done_at_module)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn local_cheaper_than_remote() {
+        let c = CostModel::default();
+        assert!(c.base_latency(0, 0) < c.base_latency(0, 1));
+    }
+
+    #[test]
+    fn uncontended_access_latency() {
+        let c = CostModel::default();
+        let (done, busy) = c.access(100, 0, 1, 1, false);
+        assert_eq!(done, 100 + c.mem_local + c.mem_service);
+        assert!(busy <= done);
+    }
+
+    #[test]
+    fn queueing_delays_second_access() {
+        let c = CostModel::default();
+        let (done1, busy1) = c.access(100, 0, 0, 5, false);
+        // A second access issued at the same instant must wait for service.
+        let (done2, busy2) = c.access(100, busy1, 1, 5, false);
+        assert!(done2 > done1);
+        assert!(busy2 >= busy1 + c.mem_service);
+    }
+
+    #[test]
+    fn rmw_costs_more() {
+        let c = CostModel::default();
+        let (plain, _) = c.access(0, 0, 0, 1, false);
+        let (rmw, _) = c.access(0, 0, 0, 1, true);
+        assert!(rmw > plain);
+    }
+
+    #[test]
+    fn idle_module_does_not_delay() {
+        let c = CostModel::default();
+        // busy_until long in the past behaves like zero.
+        let (d1, _) = c.access(1000, 0, 0, 1, false);
+        let (d2, _) = c.access(1000, 500, 0, 1, false);
+        assert_eq!(d1, d2);
+    }
+
+    #[test]
+    fn unit_model_is_one_cycle() {
+        let c = CostModel::unit();
+        let (done, _) = c.access(10, 0, 0, 3, false);
+        assert_eq!(done, 11);
+    }
+}

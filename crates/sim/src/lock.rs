@@ -1,0 +1,126 @@
+//! Simulated FIFO-queued semaphore locks.
+//!
+//! The paper's SkipQueue and FunnelList use "semaphores provided by the
+//! Proteus simulator" for all their locks. We model each lock as a queueing
+//! semaphore: an acquire performs one read-modify-write access on the lock's
+//! backing memory word (so lock *attempts* themselves contend at the word's
+//! home module) and, if the lock is held, the processor blocks on a FIFO
+//! queue until the holder releases it.
+
+use std::collections::VecDeque;
+
+use crate::{Addr, Pid};
+
+/// Identifier of a simulated lock.
+pub type LockId = u32;
+
+/// State of one lock.
+#[derive(Debug)]
+pub struct LockState {
+    /// Backing shared word: lock operations are charged as RMW accesses to
+    /// this address, so contended locks produce hot-spot queueing.
+    pub word: Addr,
+    /// Current holder, if any.
+    pub holder: Option<Pid>,
+    /// FIFO queue of blocked acquirers.
+    pub waiters: VecDeque<Pid>,
+}
+
+/// The table of all locks in the machine, with id recycling.
+#[derive(Debug, Default)]
+pub struct LockTable {
+    locks: Vec<LockState>,
+    free: Vec<LockId>,
+}
+
+impl LockTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a new lock backed by the shared word `word`.
+    pub fn create(&mut self, word: Addr) -> LockId {
+        if let Some(id) = self.free.pop() {
+            let slot = &mut self.locks[id as usize];
+            debug_assert!(slot.holder.is_none() && slot.waiters.is_empty());
+            slot.word = word;
+            return id;
+        }
+        let id = LockId::try_from(self.locks.len()).expect("lock table exhausted");
+        self.locks.push(LockState {
+            word,
+            holder: None,
+            waiters: VecDeque::new(),
+        });
+        id
+    }
+
+    /// Destroys a lock, recycling its id. The lock must be free.
+    ///
+    /// Returns the backing word so the caller can release it.
+    pub fn destroy(&mut self, id: LockId) -> Addr {
+        let slot = &mut self.locks[id as usize];
+        assert!(
+            slot.holder.is_none() && slot.waiters.is_empty(),
+            "destroying a held lock (id {id})"
+        );
+        self.free.push(id);
+        slot.word
+    }
+
+    /// Shared access to a lock's state.
+    pub fn get(&self, id: LockId) -> &LockState {
+        &self.locks[id as usize]
+    }
+
+    /// Mutable access to a lock's state.
+    pub fn get_mut(&mut self, id: LockId) -> &mut LockState {
+        &mut self.locks[id as usize]
+    }
+
+    /// Number of live (created and not destroyed) locks.
+    pub fn live(&self) -> usize {
+        self.locks.len() - self.free.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn create_and_recycle_ids() {
+        let mut t = LockTable::new();
+        let a = t.create(10);
+        let b = t.create(11);
+        assert_ne!(a, b);
+        assert_eq!(t.live(), 2);
+        assert_eq!(t.destroy(a), 10);
+        assert_eq!(t.live(), 1);
+        let c = t.create(12);
+        assert_eq!(c, a, "ids are recycled");
+        assert_eq!(t.get(c).word, 12);
+    }
+
+    #[test]
+    #[should_panic(expected = "destroying a held lock")]
+    fn destroying_held_lock_panics() {
+        let mut t = LockTable::new();
+        let a = t.create(1);
+        t.get_mut(a).holder = Some(3);
+        t.destroy(a);
+    }
+
+    #[test]
+    fn waiters_are_fifo() {
+        let mut t = LockTable::new();
+        let a = t.create(1);
+        let s = t.get_mut(a);
+        s.holder = Some(0);
+        s.waiters.push_back(1);
+        s.waiters.push_back(2);
+        assert_eq!(s.waiters.pop_front(), Some(1));
+        assert_eq!(s.waiters.pop_front(), Some(2));
+    }
+}

@@ -1,0 +1,282 @@
+//! The per-processor handle passed into simulated programs.
+//!
+//! A [`Proc`] is how algorithm code talks to the machine: local work,
+//! shared-memory operations, locks, the hardware clock, allocation, and the
+//! processor's private RNG. Every globally visible operation is `async` and
+//! proceeds in two phases: the first poll *yields*, handing control back to
+//! the executor so that any processor whose local clock is behind runs
+//! first; the second poll — issued when this processor is globally earliest —
+//! *applies* the operation. This guarantees that shared operations take
+//! effect in nondecreasing global-time order, which is what makes the
+//! simulation a valid real-time execution.
+
+use std::cell::RefCell;
+use std::future::Future;
+use std::pin::Pin;
+use std::rc::Rc;
+use std::task::{Context, Poll};
+
+use crate::lock::LockId;
+use crate::machine::{AccessKind, Machine};
+use crate::{Addr, Cycles, Pid, Word};
+
+/// Handle to one virtual processor. Cheap to clone; all clones refer to the
+/// same processor.
+///
+/// ```
+/// use pqsim::{Sim, SimConfig};
+///
+/// let mut sim = Sim::new(SimConfig::new(1));
+/// let word = sim.alloc_shared(1);
+/// sim.spawn(move |p| async move {
+///     p.work(100);                       // local cycles, never yields
+///     let old = p.swap(word, 7).await;   // globally visible: charged + yields
+///     assert_eq!(old, 0);
+/// });
+/// sim.run();
+/// assert_eq!(sim.read_word(word), 7);
+/// ```
+#[derive(Clone)]
+pub struct Proc {
+    pid: Pid,
+    machine: Rc<RefCell<Machine>>,
+}
+
+/// Future that yields to the scheduler exactly once, then applies a
+/// machine operation.
+struct OpFuture<'a, R, F: FnMut(&mut Machine, Pid) -> R> {
+    proc: &'a Proc,
+    op: F,
+    yielded: bool,
+}
+
+impl<R, F: FnMut(&mut Machine, Pid) -> R + Unpin> Future for OpFuture<'_, R, F> {
+    type Output = R;
+
+    fn poll(self: Pin<&mut Self>, _cx: &mut Context<'_>) -> Poll<R> {
+        let this = self.get_mut();
+        if !this.yielded {
+            this.yielded = true;
+            return Poll::Pending;
+        }
+        let pid = this.proc.pid;
+        let r = (this.op)(&mut this.proc.machine.borrow_mut(), pid);
+        Poll::Ready(r)
+    }
+}
+
+/// Future for lock acquisition: yield, try to acquire (possibly blocking in
+/// simulated time), and complete once the lock is held.
+struct AcquireFuture<'a> {
+    proc: &'a Proc,
+    lock: LockId,
+    state: AcqState,
+}
+
+#[derive(PartialEq)]
+enum AcqState {
+    Start,
+    Try,
+    Blocked,
+}
+
+impl Future for AcquireFuture<'_> {
+    type Output = ();
+
+    fn poll(self: Pin<&mut Self>, _cx: &mut Context<'_>) -> Poll<()> {
+        let this = self.get_mut();
+        match this.state {
+            AcqState::Start => {
+                this.state = AcqState::Try;
+                Poll::Pending
+            }
+            AcqState::Try => {
+                let pid = this.proc.pid;
+                let mut m = this.proc.machine.borrow_mut();
+                if m.acquire(pid, this.lock) {
+                    Poll::Ready(())
+                } else {
+                    // Blocked: the executor will not poll us again until a
+                    // release makes us runnable, at which point the lock is
+                    // already ours.
+                    this.state = AcqState::Blocked;
+                    Poll::Pending
+                }
+            }
+            AcqState::Blocked => {
+                let pid = this.proc.pid;
+                debug_assert_eq!(
+                    this.proc.machine.borrow().locks.get(this.lock).holder,
+                    Some(pid),
+                    "woken waiter must have been handed the lock"
+                );
+                Poll::Ready(())
+            }
+        }
+    }
+}
+
+/// Future that yields to the scheduler exactly once (pure scheduling point).
+struct YieldOnce {
+    yielded: bool,
+}
+
+impl Future for YieldOnce {
+    type Output = ();
+
+    fn poll(mut self: Pin<&mut Self>, _cx: &mut Context<'_>) -> Poll<()> {
+        if self.yielded {
+            Poll::Ready(())
+        } else {
+            self.yielded = true;
+            Poll::Pending
+        }
+    }
+}
+
+impl Proc {
+    pub(crate) fn new(pid: Pid, machine: Rc<RefCell<Machine>>) -> Self {
+        Self { pid, machine }
+    }
+
+    /// This processor's id.
+    pub fn pid(&self) -> Pid {
+        self.pid
+    }
+
+    /// Current local time, in cycles.
+    pub fn now(&self) -> Cycles {
+        self.machine.borrow().now(self.pid)
+    }
+
+    /// Performs `cycles` of purely local work. Does not yield: local
+    /// computation is invisible to other processors, exactly as in Proteus.
+    pub fn work(&self, cycles: Cycles) {
+        self.machine.borrow_mut().work(self.pid, cycles);
+    }
+
+    fn op<'a, R: 'a>(
+        &'a self,
+        op: impl FnMut(&mut Machine, Pid) -> R + Unpin + 'a,
+    ) -> impl Future<Output = R> + 'a {
+        OpFuture {
+            proc: self,
+            op,
+            yielded: false,
+        }
+    }
+
+    /// Atomic read of a shared word.
+    pub async fn read(&self, addr: Addr) -> Word {
+        self.op(move |m, pid| m.access(pid, addr, AccessKind::Read))
+            .await
+    }
+
+    /// Atomic write of a shared word.
+    pub async fn write(&self, addr: Addr, value: Word) {
+        self.op(move |m, pid| {
+            m.access(pid, addr, AccessKind::Write(value));
+        })
+        .await;
+    }
+
+    /// Register-to-memory `SWAP`: stores `value`, returns the old value.
+    pub async fn swap(&self, addr: Addr, value: Word) -> Word {
+        self.op(move |m, pid| m.access(pid, addr, AccessKind::Swap(value)))
+            .await
+    }
+
+    /// Atomic fetch-and-add; returns the old value.
+    pub async fn fetch_add(&self, addr: Addr, delta: Word) -> Word {
+        self.op(move |m, pid| m.access(pid, addr, AccessKind::FetchAdd(delta)))
+            .await
+    }
+
+    /// Atomic compare-and-swap; returns the old value (success iff it equals
+    /// `expected`).
+    pub async fn cas(&self, addr: Addr, expected: Word, new: Word) -> Word {
+        self.op(move |m, pid| m.access(pid, addr, AccessKind::Cas { expected, new }))
+            .await
+    }
+
+    /// Reads the globally synchronized hardware clock (the paper's
+    /// `getTime()`).
+    pub async fn read_clock(&self) -> Cycles {
+        self.op(|m, pid| m.read_clock(pid)).await
+    }
+
+    /// Acquires a FIFO semaphore lock, blocking in simulated time while it
+    /// is held by another processor.
+    pub async fn acquire(&self, lock: LockId) {
+        AcquireFuture {
+            proc: self,
+            lock,
+            state: AcqState::Start,
+        }
+        .await
+    }
+
+    /// Releases a lock held by this processor.
+    pub async fn release(&self, lock: LockId) {
+        self.op(move |m, pid| m.release(pid, lock)).await
+    }
+
+    /// Allocates `len` zeroed shared words homed at this processor's node.
+    ///
+    /// Allocation is local book-keeping (a per-node pool): it charges cycles
+    /// but is not a globally visible operation, so it needs no yield.
+    pub fn alloc(&self, len: u32) -> Addr {
+        self.machine.borrow_mut().alloc(self.pid, len)
+    }
+
+    /// Frees a block allocated with [`Proc::alloc`].
+    pub fn free(&self, addr: Addr, len: u32) {
+        self.machine.borrow_mut().free(self.pid, addr, len);
+    }
+
+    /// Creates a new lock whose backing word lives at this processor's node.
+    pub fn new_lock(&self) -> LockId {
+        self.machine.borrow_mut().new_lock(self.pid)
+    }
+
+    /// Destroys a free lock created with [`Proc::new_lock`].
+    pub fn free_lock(&self, lock: LockId) {
+        self.machine.borrow_mut().free_lock(self.pid, lock);
+    }
+
+    /// Yields to the scheduler without any cost (a pure scheduling point).
+    pub async fn yield_now(&self) {
+        YieldOnce { yielded: false }.await;
+    }
+
+    /// Uniform random value in `[0, bound)` from this processor's stream.
+    pub fn gen_range_u64(&self, bound: u64) -> u64 {
+        self.machine.borrow_mut().rng(self.pid).gen_range_u64(bound)
+    }
+
+    /// Bernoulli trial with probability `p` from this processor's stream.
+    pub fn coin(&self, p: f64) -> bool {
+        self.machine.borrow_mut().rng(self.pid).coin(p)
+    }
+
+    /// Geometric skiplist level in `1..=max_level` (the paper's
+    /// `randomLevel`).
+    pub fn random_level(&self, p: f64, max_level: usize) -> usize {
+        self.machine
+            .borrow_mut()
+            .rng(self.pid)
+            .random_level(p, max_level)
+    }
+
+    /// Runs a closure with the machine borrowed (out-of-band, zero simulated
+    /// cost). For instrumentation and assertions in drivers and tests.
+    pub fn with_machine<R>(&self, f: impl FnOnce(&mut Machine) -> R) -> R {
+        f(&mut self.machine.borrow_mut())
+    }
+}
+
+impl std::fmt::Debug for Proc {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Proc({})", self.pid)
+    }
+}

@@ -1,0 +1,245 @@
+//! Measurement utilities: latency recording and summarising.
+//!
+//! Instrumentation is *free* in simulated time, mirroring how Proteus
+//! collects statistics outside the simulated machine: a driver snapshots
+//! `Proc::now` around an operation and records the difference here.
+
+use crate::Cycles;
+
+/// Number of log₂ buckets in the latency histogram (covers the full `u64`
+/// range).
+const BUCKETS: usize = 64;
+
+/// Accumulates latency samples for one operation type: count/sum/min/max
+/// plus a log₂-bucketed histogram for approximate percentiles.
+#[derive(Clone, Debug)]
+pub struct LatencyRecorder {
+    count: u64,
+    sum: u128,
+    min: Cycles,
+    max: Cycles,
+    buckets: [u64; BUCKETS],
+}
+
+impl Default for LatencyRecorder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+fn bucket_of(cycles: Cycles) -> usize {
+    (u64::BITS - cycles.leading_zeros()) as usize % BUCKETS
+}
+
+impl LatencyRecorder {
+    /// Creates an empty recorder.
+    pub fn new() -> Self {
+        Self {
+            count: 0,
+            sum: 0,
+            min: Cycles::MAX,
+            max: 0,
+            buckets: [0; BUCKETS],
+        }
+    }
+
+    /// Records one latency sample.
+    pub fn record(&mut self, cycles: Cycles) {
+        self.count += 1;
+        self.sum += u128::from(cycles);
+        self.min = self.min.min(cycles);
+        self.max = self.max.max(cycles);
+        self.buckets[bucket_of(cycles)] += 1;
+    }
+
+    /// Merges another recorder into this one (e.g. across processors).
+    pub fn merge(&mut self, other: &LatencyRecorder) {
+        self.count += other.count;
+        self.sum += other.sum;
+        if other.count > 0 {
+            self.min = self.min.min(other.min);
+            self.max = self.max.max(other.max);
+        }
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Approximate `q`-quantile (`0.0..=1.0`) from the log₂ histogram:
+    /// returns the upper bound of the bucket containing the quantile, so
+    /// the answer is within 2x of the true value.
+    pub fn quantile(&self, q: f64) -> Cycles {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return if i >= 63 { Cycles::MAX } else { (1 << i) - 1 };
+            }
+        }
+        self.max
+    }
+
+    /// Produces a summary of the recorded samples.
+    pub fn summary(&self) -> LatencySummary {
+        LatencySummary {
+            count: self.count,
+            mean: if self.count == 0 {
+                0.0
+            } else {
+                self.sum as f64 / self.count as f64
+            },
+            min: if self.count == 0 { 0 } else { self.min },
+            max: self.max,
+            p50: self.quantile(0.50),
+            p99: self.quantile(0.99),
+        }
+    }
+}
+
+/// Summary statistics over a set of latency samples, in cycles.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LatencySummary {
+    /// Number of samples.
+    pub count: u64,
+    /// Mean latency.
+    pub mean: f64,
+    /// Minimum sample.
+    pub min: Cycles,
+    /// Maximum sample.
+    pub max: Cycles,
+    /// Approximate median (upper bound of its log₂ bucket).
+    pub p50: Cycles,
+    /// Approximate 99th percentile (upper bound of its log₂ bucket).
+    pub p99: Cycles,
+}
+
+impl LatencySummary {
+    /// An empty summary.
+    pub fn empty() -> Self {
+        Self {
+            count: 0,
+            mean: 0.0,
+            min: 0,
+            max: 0,
+            p50: 0,
+            p99: 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_recorder_summary() {
+        let r = LatencyRecorder::new();
+        let s = r.summary();
+        assert_eq!(s.count, 0);
+        assert_eq!(s.mean, 0.0);
+        assert_eq!(s.min, 0);
+        assert_eq!(s.max, 0);
+    }
+
+    #[test]
+    fn records_basic_stats() {
+        let mut r = LatencyRecorder::new();
+        for v in [10, 20, 30] {
+            r.record(v);
+        }
+        let s = r.summary();
+        assert_eq!(s.count, 3);
+        assert_eq!(s.mean, 20.0);
+        assert_eq!(s.min, 10);
+        assert_eq!(s.max, 30);
+    }
+
+    #[test]
+    fn merge_combines_samples() {
+        let mut a = LatencyRecorder::new();
+        a.record(5);
+        let mut b = LatencyRecorder::new();
+        b.record(15);
+        b.record(25);
+        a.merge(&b);
+        let s = a.summary();
+        assert_eq!(s.count, 3);
+        assert_eq!(s.min, 5);
+        assert_eq!(s.max, 25);
+        assert_eq!(s.mean, 15.0);
+    }
+
+    #[test]
+    fn merge_with_empty_keeps_stats() {
+        let mut a = LatencyRecorder::new();
+        a.record(7);
+        a.merge(&LatencyRecorder::new());
+        let s = a.summary();
+        assert_eq!(s.count, 1);
+        assert_eq!(s.min, 7);
+        assert_eq!(s.max, 7);
+    }
+
+    #[test]
+    fn quantiles_track_distribution() {
+        let mut r = LatencyRecorder::new();
+        // 99 cheap samples, 1 expensive one.
+        for _ in 0..99 {
+            r.record(100);
+        }
+        r.record(1_000_000);
+        let s = r.summary();
+        assert!(s.p50 >= 100 && s.p50 < 256, "p50={}", s.p50);
+        assert!(s.p99 >= 100 && s.p99 <= 2_097_152, "p99={}", s.p99);
+        assert!(
+            r.quantile(1.0) >= 1_000_000 / 2,
+            "tail quantile sees the outlier"
+        );
+    }
+
+    #[test]
+    fn quantile_of_empty_is_zero() {
+        let r = LatencyRecorder::new();
+        assert_eq!(r.quantile(0.5), 0);
+    }
+
+    #[test]
+    fn quantile_within_2x_of_uniform_samples() {
+        let mut r = LatencyRecorder::new();
+        for v in 1..=1024u64 {
+            r.record(v);
+        }
+        let p50 = r.quantile(0.5);
+        assert!((256..=1023).contains(&p50), "p50={p50}");
+    }
+
+    #[test]
+    fn merge_combines_histograms() {
+        let mut a = LatencyRecorder::new();
+        a.record(10);
+        let mut b = LatencyRecorder::new();
+        for _ in 0..100 {
+            b.record(100_000);
+        }
+        a.merge(&b);
+        assert!(a.quantile(0.9) >= 65_535, "merged tail dominated by b");
+    }
+
+    #[test]
+    fn large_sums_do_not_overflow() {
+        let mut r = LatencyRecorder::new();
+        for _ in 0..1000 {
+            r.record(Cycles::MAX / 2);
+        }
+        assert!(r.summary().mean > 0.0);
+    }
+}

@@ -1,0 +1,267 @@
+//! Optional event tracing for debugging simulated programs.
+//!
+//! When enabled on the [`crate::Machine`], every globally visible operation
+//! is appended to a bounded ring buffer with its issue time, processor and
+//! operands. Intended for post-mortem inspection in tests and while
+//! developing new simulated algorithms — the figure benchmarks leave it
+//! off (tracing costs host time, never simulated time).
+
+use std::collections::VecDeque;
+
+use crate::{Addr, Cycles, Pid, Word};
+
+/// One traced machine event.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// A shared-memory access completed.
+    Access {
+        /// Completion time.
+        time: Cycles,
+        /// Issuing processor.
+        pid: Pid,
+        /// Target word.
+        addr: Addr,
+        /// Mnemonic: `"R"`, `"W"`, `"SWAP"`, `"FAA"`, `"CAS"`.
+        kind: &'static str,
+        /// Value observed (previous value for mutating kinds).
+        observed: Word,
+    },
+    /// A lock was acquired (immediately or after blocking).
+    LockAcquired {
+        /// Completion time.
+        time: Cycles,
+        /// Acquiring processor.
+        pid: Pid,
+        /// Lock id.
+        lock: u32,
+    },
+    /// A processor joined a lock's wait queue.
+    LockBlocked {
+        /// Time at which the processor blocked.
+        time: Cycles,
+        /// Blocked processor.
+        pid: Pid,
+        /// Lock id.
+        lock: u32,
+    },
+    /// A lock was released.
+    LockReleased {
+        /// Completion time.
+        time: Cycles,
+        /// Releasing processor.
+        pid: Pid,
+        /// Lock id.
+        lock: u32,
+        /// Processor the lock was handed to, if any.
+        handed_to: Option<Pid>,
+    },
+    /// The hardware clock was read.
+    ClockRead {
+        /// Value returned.
+        time: Cycles,
+        /// Reading processor.
+        pid: Pid,
+    },
+}
+
+impl TraceEvent {
+    /// The simulated time of the event.
+    pub fn time(&self) -> Cycles {
+        match self {
+            TraceEvent::Access { time, .. }
+            | TraceEvent::LockAcquired { time, .. }
+            | TraceEvent::LockBlocked { time, .. }
+            | TraceEvent::LockReleased { time, .. }
+            | TraceEvent::ClockRead { time, .. } => *time,
+        }
+    }
+
+    /// The processor that produced the event.
+    pub fn pid(&self) -> Pid {
+        match self {
+            TraceEvent::Access { pid, .. }
+            | TraceEvent::LockAcquired { pid, .. }
+            | TraceEvent::LockBlocked { pid, .. }
+            | TraceEvent::LockReleased { pid, .. }
+            | TraceEvent::ClockRead { pid, .. } => *pid,
+        }
+    }
+}
+
+/// Bounded ring buffer of machine events.
+#[derive(Debug, Default)]
+pub struct TraceBuffer {
+    events: VecDeque<TraceEvent>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl TraceBuffer {
+    /// Creates a disabled (zero-capacity) buffer.
+    pub fn disabled() -> Self {
+        Self::default()
+    }
+
+    /// Creates a buffer retaining the most recent `capacity` events.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self {
+            events: VecDeque::with_capacity(capacity.min(1 << 20)),
+            capacity,
+            dropped: 0,
+        }
+    }
+
+    /// Whether events are being recorded.
+    pub fn enabled(&self) -> bool {
+        self.capacity > 0
+    }
+
+    /// Appends an event, evicting the oldest when full.
+    pub fn push(&mut self, ev: TraceEvent) {
+        if self.capacity == 0 {
+            return;
+        }
+        if self.events.len() == self.capacity {
+            self.events.pop_front();
+            self.dropped += 1;
+        }
+        self.events.push_back(ev);
+    }
+
+    /// Retained events, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.events.iter()
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when nothing is retained.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Events evicted because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Drops all retained events.
+    pub fn clear(&mut self) {
+        self.events.clear();
+        self.dropped = 0;
+    }
+
+    /// Renders the retained events as one line each (debugging aid).
+    pub fn dump(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        for ev in &self.events {
+            match ev {
+                TraceEvent::Access {
+                    time,
+                    pid,
+                    addr,
+                    kind,
+                    observed,
+                } => {
+                    let _ = writeln!(out, "{time:>10} p{pid:<3} {kind:<4} @{addr} -> {observed}");
+                }
+                TraceEvent::LockAcquired { time, pid, lock } => {
+                    let _ = writeln!(out, "{time:>10} p{pid:<3} LOCK {lock}");
+                }
+                TraceEvent::LockBlocked { time, pid, lock } => {
+                    let _ = writeln!(out, "{time:>10} p{pid:<3} BLCK {lock}");
+                }
+                TraceEvent::LockReleased {
+                    time,
+                    pid,
+                    lock,
+                    handed_to,
+                } => {
+                    let _ = writeln!(out, "{time:>10} p{pid:<3} UNLK {lock} -> {handed_to:?}");
+                }
+                TraceEvent::ClockRead { time, pid } => {
+                    let _ = writeln!(out, "{time:>10} p{pid:<3} TIME");
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn access(time: Cycles) -> TraceEvent {
+        TraceEvent::Access {
+            time,
+            pid: 0,
+            addr: 1,
+            kind: "R",
+            observed: 0,
+        }
+    }
+
+    #[test]
+    fn disabled_buffer_records_nothing() {
+        let mut t = TraceBuffer::disabled();
+        t.push(access(1));
+        assert!(t.is_empty());
+        assert!(!t.enabled());
+    }
+
+    #[test]
+    fn ring_evicts_oldest() {
+        let mut t = TraceBuffer::with_capacity(3);
+        for i in 0..5 {
+            t.push(access(i));
+        }
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.dropped(), 2);
+        let times: Vec<Cycles> = t.events().map(|e| e.time()).collect();
+        assert_eq!(times, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn dump_is_one_line_per_event() {
+        let mut t = TraceBuffer::with_capacity(8);
+        t.push(access(5));
+        t.push(TraceEvent::LockAcquired {
+            time: 6,
+            pid: 1,
+            lock: 9,
+        });
+        t.push(TraceEvent::LockReleased {
+            time: 8,
+            pid: 1,
+            lock: 9,
+            handed_to: Some(2),
+        });
+        let dump = t.dump();
+        assert_eq!(dump.lines().count(), 3);
+        assert!(dump.contains("LOCK 9"));
+        assert!(dump.contains("UNLK 9"));
+    }
+
+    #[test]
+    fn clear_resets_state() {
+        let mut t = TraceBuffer::with_capacity(2);
+        t.push(access(1));
+        t.push(access(2));
+        t.push(access(3));
+        t.clear();
+        assert!(t.is_empty());
+        assert_eq!(t.dropped(), 0);
+    }
+
+    #[test]
+    fn accessors_expose_pid_and_time() {
+        let e = TraceEvent::ClockRead { time: 42, pid: 7 };
+        assert_eq!(e.time(), 42);
+        assert_eq!(e.pid(), 7);
+    }
+}

@@ -1,0 +1,235 @@
+//! Property-based tests of the simulator substrate: cost-model algebra,
+//! memory allocator invariants, lock fairness, and executor determinism
+//! under arbitrary programs.
+
+use proptest::prelude::*;
+
+use pqsim::machine::{AccessKind, PState};
+use pqsim::mem::MemState;
+use pqsim::{CostModel, Machine, Pcg32, Sim, SimConfig};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    // ----------------------------------------------------------- cost model
+
+    #[test]
+    fn access_completion_after_issue(
+        now in 0u64..1_000_000,
+        busy in 0u64..1_000_000,
+        pid in 0u32..8,
+        home in 0u32..8,
+        rmw in any::<bool>(),
+    ) {
+        let c = CostModel::default();
+        let (done, module_done) = c.access(now, busy, pid, home, rmw);
+        prop_assert!(done > now, "an access takes time");
+        prop_assert!(module_done >= busy, "module horizon never regresses");
+        prop_assert!(module_done <= done, "module finishes before reply lands");
+    }
+
+    #[test]
+    fn queueing_is_monotone_in_busy(
+        now in 0u64..100_000,
+        busy1 in 0u64..100_000,
+        extra in 0u64..100_000,
+    ) {
+        let c = CostModel::default();
+        let (d1, _) = c.access(now, busy1, 0, 3, false);
+        let (d2, _) = c.access(now, busy1 + extra, 0, 3, false);
+        prop_assert!(d2 >= d1, "a busier module can never finish earlier");
+    }
+
+    #[test]
+    fn local_never_slower_than_remote(
+        now in 0u64..100_000,
+        busy in 0u64..100_000,
+    ) {
+        let c = CostModel::default();
+        let (local, _) = c.access(now, busy, 2, 2, false);
+        let (remote, _) = c.access(now, busy, 2, 5, false);
+        prop_assert!(local <= remote);
+    }
+
+    // ------------------------------------------------------------ allocator
+
+    #[test]
+    fn alloc_blocks_never_overlap(sizes in prop::collection::vec(1u32..64, 1..40)) {
+        let mut m = MemState::new(64);
+        let mut spans: Vec<(u32, u32)> = Vec::new();
+        for &len in &sizes {
+            let a = m.alloc(len, 0);
+            prop_assert_ne!(a, pqsim::NULL);
+            for &(b, blen) in &spans {
+                prop_assert!(a + len <= b || b + blen <= a, "overlap {a}+{len} vs {b}+{blen}");
+            }
+            spans.push((a, len));
+        }
+    }
+
+    #[test]
+    fn alloc_free_cycle_conserves_accounting(
+        ops in prop::collection::vec((1u32..32, any::<bool>()), 1..60),
+    ) {
+        let mut m = MemState::new(64);
+        let mut live: Vec<(u32, u32)> = Vec::new();
+        let mut live_words = 0usize;
+        for (len, free_one) in ops {
+            if free_one && !live.is_empty() {
+                let (a, l) = live.pop().unwrap();
+                m.free(a, l);
+                live_words -= l as usize;
+            } else {
+                let a = m.alloc(len, 1);
+                live.push((a, len));
+                live_words += len as usize;
+            }
+            prop_assert_eq!(m.live_words(), live_words);
+        }
+    }
+
+    #[test]
+    fn freed_block_is_zeroed_on_reuse(len in 1u32..32, junk in any::<u64>()) {
+        let mut m = MemState::new(64);
+        let a = m.alloc(len, 0);
+        for i in 0..len {
+            m.poke(a + i, junk);
+        }
+        m.free(a, len);
+        let b = m.alloc(len, 0);
+        prop_assert_eq!(b, a);
+        for i in 0..len {
+            prop_assert_eq!(m.peek(b + i), 0);
+        }
+    }
+
+    // ------------------------------------------------------------ machine
+
+    #[test]
+    fn clocks_never_go_backwards(
+        ops in prop::collection::vec((0u32..4, 0u64..256), 1..200),
+    ) {
+        let mut m = Machine::new(SimConfig::new(4));
+        let a = m.alloc(0, 4);
+        let mut last = [0u64; 4];
+        for (pid, x) in ops {
+            match x % 3 {
+                0 => m.work(pid, x),
+                1 => {
+                    m.access(pid, a + (x % 4) as u32, AccessKind::Read);
+                }
+                _ => {
+                    m.access(pid, a, AccessKind::FetchAdd(1));
+                }
+            }
+            prop_assert!(m.now(pid) >= last[pid as usize]);
+            last[pid as usize] = m.now(pid);
+        }
+    }
+
+    #[test]
+    fn lock_handoff_is_fifo_for_any_queue_order(order in prop::collection::vec(1u32..8, 1..7)) {
+        // Deduplicate while preserving order.
+        let mut waiters: Vec<u32> = Vec::new();
+        for w in order {
+            if !waiters.contains(&w) {
+                waiters.push(w);
+            }
+        }
+        let mut m = Machine::new(SimConfig::new(9));
+        let l = m.new_lock(0);
+        prop_assert!(m.acquire(0, l));
+        for &w in &waiters {
+            prop_assert!(!m.acquire(w, l));
+        }
+        let mut holder = 0u32;
+        for &expect in &waiters {
+            m.release(holder, l);
+            prop_assert_eq!(m.locks.get(l).holder, Some(expect));
+            prop_assert_eq!(m.pstate(expect), PState::Runnable);
+            holder = expect;
+        }
+        m.release(holder, l);
+        prop_assert_eq!(m.locks.get(l).holder, None);
+    }
+
+    // ------------------------------------------------------------ executor
+
+    #[test]
+    fn runs_are_deterministic_for_any_program_shape(
+        seed in any::<u64>(),
+        nproc in 1u32..8,
+        iters in 1u64..48,
+    ) {
+        fn run(seed: u64, nproc: u32, iters: u64) -> (u64, u64, u64) {
+            let mut sim = Sim::new(SimConfig::new(nproc).with_seed(seed));
+            let shared = sim.alloc_shared(4);
+            let lock = sim.machine().borrow_mut().new_lock(0);
+            for _ in 0..nproc {
+                sim.spawn(move |p| async move {
+                    for _ in 0..iters {
+                        match p.gen_range_u64(4) {
+                            0 => p.work(p.gen_range_u64(200)),
+                            1 => {
+                                p.fetch_add(shared, 1).await;
+                            }
+                            2 => {
+                                let v = p.read(shared + 1).await;
+                                p.write(shared + 1, v ^ 0x5A).await;
+                            }
+                            _ => {
+                                p.acquire(lock).await;
+                                let v = p.read(shared + 2).await;
+                                p.work(13);
+                                p.write(shared + 2, v + 1).await;
+                                p.release(lock).await;
+                            }
+                        }
+                    }
+                });
+            }
+            let r = sim.run();
+            (r.final_time, r.shared_ops, sim.read_word(shared + 2))
+        }
+        prop_assert_eq!(run(seed, nproc, iters), run(seed, nproc, iters));
+    }
+
+    #[test]
+    fn lock_protected_counter_is_exact(nproc in 1u32..12, iters in 1u64..40) {
+        let mut sim = Sim::new(SimConfig::new(nproc));
+        let counter = sim.alloc_shared(1);
+        let lock = sim.machine().borrow_mut().new_lock(0);
+        for _ in 0..nproc {
+            sim.spawn(move |p| async move {
+                for _ in 0..iters {
+                    p.acquire(lock).await;
+                    let v = p.read(counter).await;
+                    p.work(5);
+                    p.write(counter, v + 1).await;
+                    p.release(lock).await;
+                }
+            });
+        }
+        sim.run();
+        prop_assert_eq!(sim.read_word(counter), u64::from(nproc) * iters);
+    }
+
+    // ------------------------------------------------------------ RNG
+
+    #[test]
+    fn pcg_streams_reproducible(seed in any::<u64>(), pid in 0u32..256) {
+        let mut a = Pcg32::for_pid(seed, pid);
+        let mut b = Pcg32::for_pid(seed, pid);
+        for _ in 0..32 {
+            prop_assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn gen_range_in_bounds(seed in any::<u64>(), bound in 1u64..u64::MAX) {
+        let mut rng = Pcg32::new(seed, 3);
+        for _ in 0..32 {
+            prop_assert!(rng.gen_range_u64(bound) < bound);
+        }
+    }
+}

@@ -1,0 +1,268 @@
+//! The design the paper tried and rejected (§5): a combining funnel
+//! regulating *delete-min* access to the bottom level of the SkipQueue.
+//!
+//! > "We tried using a funnel to regulate access of deleting processors at
+//! > the bottom level of the SkipList. This funnel performed well in low
+//! > contention but caused too much overhead when the concurrency level
+//! > increased to 64 processors and more. In the end, we concluded that
+//! > letting processors compete for the smallest element gives the best
+//! > results."
+//!
+//! This module reconstructs that experiment so the claim can be re-tested
+//! (see the `ablation_funnel_delete` binary). Inserts go straight to the
+//! underlying [`SimSkipQueue`]; delete-mins combine in a funnel and one
+//! representative executes the whole batch against the skiplist.
+//!
+//! The funnel protocol is the same capture discipline as
+//! [`crate::funnellist`] (LOCKED / ACTIVE / CAPTURED / DONE).
+
+use pqsim::{Addr, Proc, Sim, Word, NULL};
+
+use crate::skipqueue::SimSkipQueue;
+
+const ST_LOCKED: Word = 0;
+const ST_ACTIVE: Word = 1;
+const ST_CAPTURED: Word = 2;
+const ST_DONE: Word = 3;
+
+const R_STATUS: u32 = 0;
+const R_CHAIN: u32 = 1;
+const R_SIBLING: u32 = 2;
+const R_RES_KEY: u32 = 3;
+const R_RES_VAL: u32 = 4;
+const R_RES_OK: u32 = 5;
+const REQ_WORDS: u32 = 6;
+
+/// A SkipQueue whose delete-mins are batched through a combining funnel.
+pub struct FunnelSkipQueue {
+    inner: SimSkipQueue,
+    /// Collision layers: (base address, width).
+    layers: Vec<(Addr, u32)>,
+    spin_rounds: u32,
+}
+
+impl FunnelSkipQueue {
+    /// Builds the structure: a SkipQueue plus a delete-side funnel of the
+    /// given first-layer `width` and `depth`.
+    pub fn create(sim: &Sim, max_level: usize, strict: bool, width: u32, depth: u32) -> Self {
+        let inner = SimSkipQueue::create(sim, max_level, strict);
+        let m = sim.machine();
+        let mut m = m.borrow_mut();
+        let nproc = m.cfg.nproc.max(1);
+        let layers = (0..depth)
+            .map(|d| {
+                let w = (width >> d).max(1);
+                let base = m.mem.alloc(w, 0);
+                for i in 0..w {
+                    m.mem.set_home(base + i, 1, i % nproc);
+                }
+                (base, w)
+            })
+            .collect();
+        Self {
+            inner,
+            layers,
+            spin_rounds: 6,
+        }
+    }
+
+    /// The underlying SkipQueue (population, invariants, stats).
+    pub fn inner(&self) -> &SimSkipQueue {
+        &self.inner
+    }
+
+    /// Inserts go straight to the skiplist — the funnel only regulated
+    /// deleters in the paper's experiment.
+    pub async fn insert(&self, p: &Proc, key: u64, value: u64) {
+        self.inner.insert(p, key, value).await;
+    }
+
+    /// Funnel-combined delete-min.
+    pub async fn delete_min(&self, p: &Proc) -> Option<(u64, u64)> {
+        let req = p.alloc(REQ_WORDS);
+        p.with_machine(|m| m.mem.poke(req + R_STATUS, ST_LOCKED));
+        p.work(6);
+
+        let mut chain: Addr = NULL;
+        for &(base, width) in &self.layers {
+            p.write(req + R_CHAIN, Word::from(chain)).await;
+            p.write(req + R_STATUS, ST_ACTIVE).await;
+            let slot = base + p.gen_range_u64(u64::from(width)) as u32;
+            let prev = p.swap(slot, Word::from(req)).await as Addr;
+
+            let rounds = if prev == NULL { 1 } else { self.spin_rounds };
+            let mut backoff = 16u64;
+            for _ in 0..rounds {
+                if p.read(req + R_STATUS).await != ST_ACTIVE {
+                    break;
+                }
+                p.work(backoff);
+                backoff = (backoff * 2).min(256);
+            }
+            let old = p.cas(req + R_STATUS, ST_ACTIVE, ST_LOCKED).await;
+            let retracted = old == ST_ACTIVE;
+            p.cas(slot, Word::from(req), Word::from(NULL)).await;
+
+            if prev != NULL && prev != req && retracted {
+                let got = p.cas(prev + R_STATUS, ST_ACTIVE, ST_CAPTURED).await;
+                if got == ST_ACTIVE {
+                    p.write(prev + R_SIBLING, Word::from(chain)).await;
+                    chain = prev;
+                }
+            }
+
+            if !retracted {
+                let mut wait = 64u64;
+                loop {
+                    if p.read(req + R_STATUS).await == ST_DONE {
+                        break;
+                    }
+                    p.work(wait);
+                    wait = (wait * 2).min(4096);
+                }
+                return self.read_result(p, req).await;
+            }
+        }
+
+        // Combiner: execute every batched delete-min against the skiplist.
+        let mut members = vec![req];
+        let mut stack = vec![chain];
+        while let Some(mut c) = stack.pop() {
+            while c != NULL {
+                members.push(c);
+                let sub = p.read(c + R_CHAIN).await as Addr;
+                stack.push(sub);
+                c = p.read(c + R_SIBLING).await as Addr;
+            }
+        }
+        for &m in &members {
+            match self.inner.delete_min(p).await {
+                Some((k, v)) => {
+                    p.write(m + R_RES_KEY, k).await;
+                    p.write(m + R_RES_VAL, v).await;
+                    p.write(m + R_RES_OK, 1).await;
+                }
+                None => {
+                    p.write(m + R_RES_OK, 2).await;
+                }
+            }
+            if m != req {
+                p.write(m + R_STATUS, ST_DONE).await;
+            }
+        }
+        self.read_result(p, req).await
+    }
+
+    async fn read_result(&self, p: &Proc, req: Addr) -> Option<(u64, u64)> {
+        let ok = p.read(req + R_RES_OK).await;
+        if ok == 1 {
+            let k = p.read(req + R_RES_KEY).await;
+            let v = p.read(req + R_RES_VAL).await;
+            Some((k, v))
+        } else {
+            None
+        }
+    }
+}
+
+impl Clone for FunnelSkipQueue {
+    fn clone(&self) -> Self {
+        Self {
+            inner: self.inner.clone(),
+            layers: self.layers.clone(),
+            spin_rounds: self.spin_rounds,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pqsim::{Pcg32, SimConfig};
+
+    fn new_sim(n: u32) -> Sim {
+        Sim::new(SimConfig::new(n).with_seed(31))
+    }
+
+    #[test]
+    fn single_proc_ordering() {
+        let mut sim = new_sim(1);
+        let q = FunnelSkipQueue::create(&sim, 8, true, 4, 2);
+        let out = sim.alloc_shared(5);
+        let q2 = q.clone();
+        sim.spawn(move |p| async move {
+            for k in [5u64, 2, 9, 1, 7] {
+                q2.insert(&p, k, k + 1).await;
+            }
+            for i in 0..5u32 {
+                let (k, v) = q2.delete_min(&p).await.unwrap();
+                assert_eq!(v, k + 1);
+                p.write(out + i, k).await;
+            }
+            assert!(q2.delete_min(&p).await.is_none());
+        });
+        sim.run();
+        let got: Vec<u64> = (0..5).map(|i| sim.read_word(out + i)).collect();
+        assert_eq!(got, vec![1, 2, 5, 7, 9]);
+    }
+
+    #[test]
+    fn concurrent_drain_exactly_once() {
+        let mut sim = new_sim(8);
+        let q = FunnelSkipQueue::create(&sim, 10, true, 8, 2);
+        let mut rng = Pcg32::new(4, 4);
+        let keys = q.inner().populate(&sim, &mut rng, 120, 1 << 30);
+        let got = sim.alloc_shared(8 * 120);
+        let cnt = sim.alloc_shared(8);
+        for t in 0..8u32 {
+            let q2 = q.clone();
+            sim.spawn(move |p| async move {
+                let mut mine = 0u32;
+                while let Some((k, _)) = q2.delete_min(&p).await {
+                    p.write(got + t * 120 + mine, k).await;
+                    mine += 1;
+                }
+                p.write(cnt + t, u64::from(mine)).await;
+            });
+        }
+        sim.run();
+        let mut all = Vec::new();
+        for t in 0..8u32 {
+            let c = sim.read_word(cnt + t) as u32;
+            for i in 0..c {
+                all.push(sim.read_word(got + t * 120 + i));
+            }
+        }
+        all.sort_unstable();
+        assert_eq!(all, keys, "every key delivered exactly once");
+        assert_eq!(q.inner().check_invariants(&sim), 0);
+    }
+
+    #[test]
+    fn mixed_workload_conserves() {
+        let mut sim = new_sim(8);
+        let q = FunnelSkipQueue::create(&sim, 10, true, 8, 2);
+        let counts = sim.alloc_shared(16);
+        for t in 0..8u32 {
+            let q2 = q.clone();
+            sim.spawn(move |p| async move {
+                let mut ins = 0u64;
+                let mut del = 0u64;
+                for i in 0..30u64 {
+                    q2.insert(&p, 1 + u64::from(t) + 8 * i, 0).await;
+                    ins += 1;
+                    p.work(50);
+                    if p.coin(0.5) && q2.delete_min(&p).await.is_some() {
+                        del += 1;
+                    }
+                }
+                p.write(counts + 2 * t, ins).await;
+                p.write(counts + 2 * t + 1, del).await;
+            });
+        }
+        sim.run();
+        let ins: u64 = (0..8).map(|t| sim.read_word(counts + 2 * t)).sum();
+        let del: u64 = (0..8).map(|t| sim.read_word(counts + 2 * t + 1)).sum();
+        assert_eq!(q.inner().check_invariants(&sim) as u64, ins - del);
+    }
+}

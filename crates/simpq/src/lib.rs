@@ -1,0 +1,54 @@
+//! # simpq — the paper's priority queues, hosted on the simulated machine
+//!
+//! Lotan & Shavit's entire evaluation runs on a simulated 256-processor
+//! ccNUMA (Proteus configured like the MIT Alewife), measuring operation
+//! latency in machine cycles. This crate contains the three benchmarked
+//! structures written against the [`pqsim`] shared-memory API — every
+//! globally visible READ/WRITE/SWAP/lock operation is charged cycles and
+//! contends at its home memory module — plus the synthetic workload driver
+//! that regenerates every figure of the paper.
+//!
+//! * [`skipqueue::SimSkipQueue`] — the SkipQueue, a line-by-line
+//!   transcription of the paper's Figures 9–11 (including the `getLock`
+//!   re-validation loop, the update-in-place path for an existing key, the
+//!   `timeStamp` mechanism, and the backward-pointer delete); the *relaxed*
+//!   variant of §5.4 is a constructor flag.
+//! * [`heap::SimHuntHeap`] — the Hunt et al. heap: size lock, per-node
+//!   locks and tags, bit-reversed bottom-up insertions, top-down deletions.
+//! * [`funnellist::SimFunnelList`] — the sorted linked list with a
+//!   combining-funnel front end.
+//! * [`workload::run_workload`] — the benchmark of §5: each processor
+//!   alternates `work_cycles` of local work with a random queue operation;
+//!   reports mean insert / delete-min latency in cycles.
+//!
+//! ```
+//! use simpq::workload::{run_workload, QueueKind, WorkloadConfig};
+//!
+//! let res = run_workload(&WorkloadConfig {
+//!     queue: QueueKind::SkipQueue { strict: true },
+//!     nproc: 4,
+//!     initial_size: 50,
+//!     total_ops: 400,
+//!     insert_ratio: 0.5,
+//!     work_cycles: 100,
+//!     ..WorkloadConfig::default()
+//! });
+//! assert!(res.insert.count + res.delete.count >= 400);
+//! ```
+
+#![warn(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
+
+pub mod funnel_skip;
+pub mod funnellist;
+pub mod heap;
+pub mod skipqueue;
+pub mod workload;
+
+pub use funnel_skip::FunnelSkipQueue;
+pub use funnellist::SimFunnelList;
+pub use heap::SimHuntHeap;
+pub use skipqueue::SimSkipQueue;
+pub use workload::{
+    run_hold_model, run_workload, HoldConfig, HoldResult, QueueKind, WorkloadConfig, WorkloadResult,
+};

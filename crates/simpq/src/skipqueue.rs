@@ -1,0 +1,858 @@
+//! The SkipQueue on the simulated machine — a transcription of the paper's
+//! Figures 9, 10 and 11 against the [`pqsim`] shared-memory API.
+//!
+//! Every `READ`/`WRITE`/`SWAP`, every semaphore acquire/release, and every
+//! `getTime()` is a charged, globally visible simulated operation. Purely
+//! address-arithmetic artifacts of the simulation (finding a node's lock id,
+//! which in the original C sits at a fixed struct offset) are free.
+//!
+//! Node layout (words from the node base):
+//!
+//! ```text
+//! +0 key   +1 value   +2 level   +3 deleted   +4 timeStamp   +5 nodeLockId
+//! +6+2i    next[i]                (i = 0..level)
+//! +7+2i    lockId[i]
+//! ```
+//!
+//! Sentinel keys: the head holds [`KEY_NEG_INF`] (0) and the tail
+//! [`KEY_POS_INF`] (`u64::MAX`); user keys must lie strictly between.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use pqsim::{Addr, Cycles, LockId, Machine, Pcg32, Proc, Sim, Word, NULL};
+
+/// Reserved key of the head sentinel.
+pub const KEY_NEG_INF: u64 = 0;
+/// Reserved key of the tail sentinel.
+pub const KEY_POS_INF: u64 = u64::MAX;
+
+/// Timestamp of a node whose insertion has not completed (`MAX_TIME`).
+pub const MAX_TIME: u64 = u64::MAX;
+
+const KEY: u32 = 0;
+const VALUE: u32 = 1;
+const LEVEL: u32 = 2;
+const DELETED: u32 = 3;
+const TIMESTAMP: u32 = 4;
+const NODE_LOCK: u32 = 5;
+const TOWER: u32 = 6;
+
+fn next_addr(node: Addr, lvl: usize) -> Addr {
+    node + TOWER + 2 * lvl as u32
+}
+
+fn level_lock_addr(node: Addr, lvl: usize) -> Addr {
+    node + TOWER + 2 * lvl as u32 + 1
+}
+
+fn node_words(height: usize) -> u32 {
+    TOWER + 2 * height as u32
+}
+
+/// Result of an insert: the paper's code updates in place when the key is
+/// already present (its skiplist is a dictionary).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum InsertOutcome {
+    /// A new node was linked.
+    Inserted,
+    /// An existing node's value was overwritten (Figure 10 lines 12–16).
+    Updated,
+}
+
+/// Per-run bookkeeping shared by all processors (host-side, zero simulated
+/// cost — Proteus instrumentation lives outside the machine too).
+#[derive(Debug, Default)]
+pub struct SkipQueueStats {
+    /// Nodes pushed to garbage lists (physically deleted).
+    pub retired: u64,
+    /// Nodes allocated during the run.
+    pub allocated: u64,
+}
+
+/// The simulator-hosted SkipQueue.
+pub struct SimSkipQueue {
+    head: Addr,
+    tail: Addr,
+    max_level: usize,
+    p_level: f64,
+    strict: bool,
+    /// Entry-time registry (one word per processor), the paper's §3 GC
+    /// bookkeeping: processors post their entry time on the way in and
+    /// `MAX_TIME` on the way out.
+    registry: Addr,
+    nproc: u32,
+    /// Host-side garbage lists: (node base, words). The simulated arena is
+    /// virtual, so reuse is unnecessary; the paper's reclamation *protocol*
+    /// (registry + stamped garbage lists) is what we model.
+    garbage: Rc<RefCell<Vec<(Addr, u32, Cycles)>>>,
+    stats: Rc<RefCell<SkipQueueStats>>,
+}
+
+impl SimSkipQueue {
+    /// Builds an empty SkipQueue on `sim`'s machine (out-of-band setup; no
+    /// simulated time passes).
+    ///
+    /// `strict = false` gives the relaxed variant of §5.4: inserts skip the
+    /// time stamp and delete-mins skip the stamp test.
+    pub fn create(sim: &Sim, max_level: usize, strict: bool) -> Self {
+        assert!((1..=30).contains(&max_level));
+        let m = sim.machine();
+        let mut m = m.borrow_mut();
+        let nproc = m.cfg.nproc;
+        let head = Self::alloc_node_oob(&mut m, KEY_NEG_INF, 0, max_level, 0);
+        let tail = Self::alloc_node_oob(&mut m, KEY_POS_INF, 0, max_level, 0);
+        for lvl in 0..max_level {
+            m.mem.poke(next_addr(head, lvl), Word::from(tail));
+        }
+        // Sentinels must never be claimed by a delete-min scan (a removed
+        // node's backward pointer can route a scan over the head again):
+        // they are born marked and stamped "not yet inserted".
+        for s in [head, tail] {
+            m.mem.poke(s + DELETED, 1);
+            m.mem.poke(s + TIMESTAMP, MAX_TIME);
+        }
+        let registry = m.mem.alloc(nproc.max(1), 0);
+        for p in 0..nproc {
+            m.mem.poke(registry + p, MAX_TIME);
+            m.mem.set_home(registry + p, 1, p);
+        }
+        Self {
+            head,
+            tail,
+            max_level,
+            p_level: 0.5,
+            strict,
+            registry,
+            nproc,
+            garbage: Rc::new(RefCell::new(Vec::new())),
+            stats: Rc::new(RefCell::new(SkipQueueStats::default())),
+        }
+    }
+
+    /// Head sentinel address (tests/diagnostics).
+    pub fn head(&self) -> Addr {
+        self.head
+    }
+
+    /// Whether the strict (time-stamped) protocol is active.
+    pub fn is_strict(&self) -> bool {
+        self.strict
+    }
+
+    /// Snapshot of host-side statistics.
+    pub fn stats(&self) -> SkipQueueStats {
+        let s = self.stats.borrow();
+        SkipQueueStats {
+            retired: s.retired,
+            allocated: s.allocated,
+        }
+    }
+
+    /// Number of nodes on garbage lists (retired, awaiting the quiescence
+    /// horizon).
+    pub fn garbage_len(&self) -> usize {
+        self.garbage.borrow().len()
+    }
+
+    fn alloc_node_oob(
+        m: &mut Machine,
+        key: u64,
+        value: u64,
+        height: usize,
+        home: pqsim::Pid,
+    ) -> Addr {
+        let node = m.mem.alloc(node_words(height), home);
+        m.mem.poke(node + KEY, key);
+        m.mem.poke(node + VALUE, value);
+        m.mem.poke(node + LEVEL, height as Word);
+        m.mem.poke(node + TIMESTAMP, 0); // visible to every delete-min
+        let nl = m.locks.create(m.mem.alloc(1, home));
+        m.mem.poke(node + NODE_LOCK, Word::from(nl));
+        for lvl in 0..height {
+            let ll = m.locks.create(m.mem.alloc(1, home));
+            m.mem.poke(level_lock_addr(node, lvl), Word::from(ll));
+        }
+        node
+    }
+
+    /// Allocates a node during the run (charged to `p`).
+    fn alloc_node(&self, p: &Proc, key: u64, value: u64, height: usize) -> Addr {
+        let node = p.alloc(node_words(height));
+        p.with_machine(|m| {
+            // Initialization of a freshly allocated private block is local
+            // work, not globally visible traffic; charge a flat cost.
+            m.mem.poke(node + KEY, key);
+            m.mem.poke(node + VALUE, value);
+            m.mem.poke(node + LEVEL, height as Word);
+            m.mem.poke(node + TIMESTAMP, MAX_TIME);
+        });
+        p.work(4 * (height as u64 + 2));
+        let nl = p.new_lock();
+        p.with_machine(|m| m.mem.poke(node + NODE_LOCK, Word::from(nl)));
+        for lvl in 0..height {
+            let ll = p.new_lock();
+            p.with_machine(|m| m.mem.poke(level_lock_addr(node, lvl), Word::from(ll)));
+        }
+        self.stats.borrow_mut().allocated += 1;
+        node
+    }
+
+    /// Resolves a node's level-`lvl` lock id (address arithmetic: free).
+    fn level_lock(&self, p: &Proc, node: Addr, lvl: usize) -> LockId {
+        p.with_machine(|m| m.mem.peek(level_lock_addr(node, lvl))) as LockId
+    }
+
+    fn node_lock(&self, p: &Proc, node: Addr) -> LockId {
+        p.with_machine(|m| m.mem.peek(node + NODE_LOCK)) as LockId
+    }
+
+    /// The paper's `getLock` (Figure 9): lock the level-`lvl` pointer of the
+    /// node with the largest key smaller than `key`, starting from `node1`.
+    async fn get_lock(&self, p: &Proc, mut node1: Addr, key: u64, lvl: usize) -> Addr {
+        let mut node2 = p.read(next_addr(node1, lvl)).await as Addr;
+        loop {
+            let k2 = p.read(node2 + KEY).await;
+            if k2 >= key {
+                break;
+            }
+            node1 = node2;
+            node2 = p.read(next_addr(node1, lvl)).await as Addr;
+        }
+        p.acquire(self.level_lock(p, node1, lvl)).await;
+        let mut node2 = p.read(next_addr(node1, lvl)).await as Addr;
+        loop {
+            let k2 = p.read(node2 + KEY).await;
+            if k2 >= key {
+                break;
+            }
+            // Something changed before locking: move the lock forward.
+            p.release(self.level_lock(p, node1, lvl)).await;
+            node1 = node2;
+            p.acquire(self.level_lock(p, node1, lvl)).await;
+            node2 = p.read(next_addr(node1, lvl)).await as Addr;
+        }
+        node1
+    }
+
+    /// Searches for the predecessors of `key` at every level (Figure 10
+    /// lines 1–9; the paper's line-4 comparison is printed `>` but is the
+    /// standard skiplist `<`-advance, as in Figure 9).
+    async fn search(&self, p: &Proc, key: u64) -> Vec<Addr> {
+        let mut saved = vec![self.head; self.max_level];
+        let mut node1 = self.head;
+        for lvl in (0..self.max_level).rev() {
+            let mut node2 = p.read(next_addr(node1, lvl)).await as Addr;
+            loop {
+                let k2 = p.read(node2 + KEY).await;
+                if k2 >= key {
+                    break;
+                }
+                node1 = node2;
+                node2 = p.read(next_addr(node1, lvl)).await as Addr;
+            }
+            saved[lvl] = node1;
+        }
+        saved
+    }
+
+    async fn register_entry(&self, p: &Proc) {
+        // §3: "Each processor registers the time it has entered the
+        // structure in a special place in shared memory."
+        let t = p.now();
+        p.write(self.registry + p.pid(), t).await;
+    }
+
+    async fn register_exit(&self, p: &Proc) {
+        p.write(self.registry + p.pid(), MAX_TIME).await;
+    }
+
+    /// Inserts `(key, value)` (Figure 10). `key` must lie strictly between
+    /// the sentinels. Updates the value in place if the key already exists.
+    pub async fn insert(&self, p: &Proc, key: u64, value: u64) -> InsertOutcome {
+        assert!(key > KEY_NEG_INF && key < KEY_POS_INF, "key out of range");
+        self.register_entry(p).await;
+        let saved = self.search(p, key).await;
+
+        // Lines 10–16: lock the level-0 predecessor; if the key exists,
+        // update its value in place.
+        let node1 = self.get_lock(p, saved[0], key, 0).await;
+        let node2 = p.read(next_addr(node1, 0)).await as Addr;
+        let k2 = p.read(node2 + KEY).await;
+        if k2 == key {
+            p.write(node2 + VALUE, value).await;
+            p.release(self.level_lock(p, node1, 0)).await;
+            self.register_exit(p).await;
+            return InsertOutcome::Updated;
+        }
+
+        // Lines 17–20: make the node, lock it whole.
+        let height = p.random_level(self.p_level, self.max_level);
+        let node = self.alloc_node(p, key, value, height);
+        let node_lock = self.node_lock(p, node);
+        p.acquire(node_lock).await;
+
+        // Lines 21–27: connect bottom-to-top; level 0's predecessor is
+        // already locked.
+        let mut pred = node1;
+        for lvl in 0..height {
+            if lvl != 0 {
+                pred = self.get_lock(p, saved[lvl], key, lvl).await;
+            }
+            let nxt = p.read(next_addr(pred, lvl)).await;
+            p.write(next_addr(node, lvl), nxt).await;
+            p.write(next_addr(pred, lvl), Word::from(node)).await;
+            p.release(self.level_lock(p, pred, lvl)).await;
+        }
+        p.release(node_lock).await;
+
+        // Line 29: stamp only after the node is completely inserted.
+        if self.strict {
+            let t = p.read_clock().await;
+            p.write(node + TIMESTAMP, t).await;
+        } else {
+            // Relaxed variant (§5.4): no stamping; mark as visible.
+            p.write(node + TIMESTAMP, 0).await;
+        }
+        self.register_exit(p).await;
+        InsertOutcome::Inserted
+    }
+
+    /// Deletes and returns the minimum (Figure 11), or `None` for EMPTY.
+    pub async fn delete_min(&self, p: &Proc) -> Option<(u64, u64)> {
+        self.register_entry(p).await;
+        // Line 1: note the time the search starts (strict mode only).
+        let time = if self.strict {
+            p.read_clock().await
+        } else {
+            MAX_TIME
+        };
+
+        // Lines 2–10: walk the bottom level, SWAP-claiming the first
+        // unmarked node that was inserted before we began.
+        let mut node1 = p.read(next_addr(self.head, 0)).await as Addr;
+        let victim = loop {
+            if node1 == self.tail {
+                self.register_exit(p).await;
+                return None; // EMPTY
+            }
+            let eligible = if self.strict {
+                p.read(node1 + TIMESTAMP).await < time
+            } else {
+                true
+            };
+            if eligible {
+                let marked = p.swap(node1 + DELETED, 1).await;
+                if marked == 0 {
+                    break node1;
+                }
+            }
+            node1 = p.read(next_addr(node1, 0)).await as Addr;
+        };
+
+        // Lines 11–13: save the value and key.
+        let value = p.read(victim + VALUE).await;
+        let key = p.read(victim + KEY).await;
+
+        // Lines 15–22: find the predecessors at every level.
+        let saved = self.search(p, key).await;
+
+        // Lines 24–26: make sure we hold a pointer to the node with the key.
+        let mut node2 = saved[0];
+        loop {
+            let k2 = p.read(node2 + KEY).await;
+            if k2 == key {
+                break;
+            }
+            node2 = p.read(next_addr(node2, 0)).await as Addr;
+        }
+
+        // Line 27: lock the whole node (waits out an in-flight insert).
+        let node_lock = self.node_lock(p, node2);
+        p.acquire(node_lock).await;
+
+        // Lines 28–35: unlink top-down, two locks per level, leaving a
+        // backward pointer.
+        let height = p.read(node2 + LEVEL).await as usize;
+        for lvl in (0..height).rev() {
+            let pred = self.get_lock(p, saved[lvl], key, lvl).await;
+            p.acquire(self.level_lock(p, node2, lvl)).await;
+            let nxt = p.read(next_addr(node2, lvl)).await;
+            p.write(next_addr(pred, lvl), nxt).await;
+            p.write(next_addr(node2, lvl), Word::from(pred)).await;
+            p.release(self.level_lock(p, node2, lvl)).await;
+            p.release(self.level_lock(p, pred, lvl)).await;
+        }
+
+        // Lines 36–37: release and put on the garbage list, stamped with the
+        // deletion time (§3).
+        p.release(node_lock).await;
+        p.work(8); // local bookkeeping for the garbage-list push
+        self.garbage
+            .borrow_mut()
+            .push((node2, node_words(height), p.now()));
+        self.stats.borrow_mut().retired += 1;
+        self.register_exit(p).await;
+        Some((key, value))
+    }
+
+    /// The paper's §3 dedicated garbage-collection processor.
+    ///
+    /// "The dedicated processor determines the time-stamp of the oldest
+    /// processor in the structure and then visits the garbage lists of
+    /// all the processors. It looks at the deletion time of the first
+    /// node of every list, and if it is earlier than the time-stamp of the
+    /// oldest processor in the structure, it frees its memory. The
+    /// dedicated processor will repeat this procedure as long as the
+    /// structure exists."
+    ///
+    /// Run this as the program of an *extra* processor. It sweeps until
+    /// `workers_done` reports that all worker programs have finished and
+    /// the garbage lists are empty. Returns the number of nodes whose
+    /// memory (and locks) it reclaimed into the simulated allocator.
+    ///
+    /// Reclaimed blocks really are reused by later allocations; the
+    /// quiescence horizon is what makes that safe (no processor that could
+    /// still hold a pointer to a node remains inside the structure when the
+    /// node is freed).
+    pub async fn run_collector(
+        &self,
+        p: &Proc,
+        workers_done: Rc<std::cell::Cell<u32>>,
+        workers: u32,
+    ) -> u64 {
+        let mut freed = 0u64;
+        loop {
+            // Oldest entry time across the registry (shared reads).
+            let mut horizon = MAX_TIME;
+            for q in 0..self.nproc {
+                let e = p.read(self.registry + q).await;
+                horizon = horizon.min(e);
+            }
+            // Free every garbage node stamped before the horizon.
+            let eligible: Vec<(Addr, u32, Cycles)> = {
+                let mut g = self.garbage.borrow_mut();
+                let (take, keep): (Vec<_>, Vec<_>) =
+                    g.drain(..).partition(|&(_, _, ts)| ts < horizon);
+                *g = keep;
+                take
+            };
+            for (node, words, _) in eligible {
+                self.free_node(p, node, words);
+                freed += 1;
+            }
+            let done = workers_done.get() >= workers;
+            if done && self.garbage.borrow().is_empty() {
+                break;
+            }
+            // Pause between sweeps, like any polling daemon.
+            p.work(1_000);
+            p.yield_now().await;
+        }
+        freed
+    }
+
+    /// Destroys a quiesced node's locks and returns its words to the
+    /// simulated allocator. Only safe past the quiescence horizon.
+    fn free_node(&self, p: &Proc, node: Addr, words: u32) {
+        let (height, node_lock, level_locks) = p.with_machine(|m| {
+            let height = m.mem.peek(node + LEVEL) as usize;
+            let nl = m.mem.peek(node + NODE_LOCK) as LockId;
+            let lls: Vec<LockId> = (0..height)
+                .map(|lvl| m.mem.peek(level_lock_addr(node, lvl)) as LockId)
+                .collect();
+            (height, nl, lls)
+        });
+        debug_assert_eq!(node_words(height), words);
+        p.free_lock(node_lock);
+        for ll in level_locks {
+            p.free_lock(ll);
+        }
+        p.free(node, words);
+        p.work(8);
+    }
+
+    /// Out-of-band population: builds a valid skiplist of `n` nodes with
+    /// distinct random keys in `(0, key_range)`, zero simulated cost.
+    /// Returns the keys inserted.
+    pub fn populate(&self, sim: &Sim, rng: &mut Pcg32, n: usize, key_range: u64) -> Vec<u64> {
+        let m = sim.machine();
+        let mut m = m.borrow_mut();
+        let mut keys = std::collections::BTreeSet::new();
+        while keys.len() < n {
+            keys.insert(1 + rng.gen_range_u64(key_range.min(KEY_POS_INF - 2)));
+        }
+        let keys: Vec<u64> = keys.into_iter().collect();
+        // Build bottom-up: iterate keys in sorted order, maintaining the
+        // rightmost node per level.
+        let mut right = vec![self.head; self.max_level];
+        for &k in &keys {
+            let h = rng.random_level(self.p_level, self.max_level);
+            let home = rng.gen_range_u64(u64::from(self.nproc.max(1))) as pqsim::Pid;
+            let node = Self::alloc_node_oob(&mut m, k, k ^ 0x5A5A, h, home);
+            for lvl in 0..h {
+                m.mem.poke(next_addr(node, lvl), Word::from(self.tail));
+                m.mem.poke(next_addr(right[lvl], lvl), Word::from(node));
+                right[lvl] = node;
+            }
+        }
+        keys
+    }
+
+    /// Out-of-band structural check: every level sorted, marked nodes
+    /// absent, bottom-level count returned. For quiescent states (tests).
+    pub fn check_invariants(&self, sim: &Sim) -> usize {
+        let m = sim.machine();
+        let m = m.borrow();
+        let mut count = 0;
+        for lvl in (0..self.max_level).rev() {
+            let mut prev_key = KEY_NEG_INF;
+            let mut cur = m.mem.peek(next_addr(self.head, lvl)) as Addr;
+            while cur != self.tail {
+                let k = m.mem.peek(cur + KEY);
+                assert!(k > prev_key, "level {lvl} out of order");
+                assert!(
+                    (m.mem.peek(cur + LEVEL) as usize) > lvl,
+                    "node linked above its height"
+                );
+                assert_eq!(
+                    m.mem.peek(cur + DELETED),
+                    0,
+                    "marked node still linked (quiescent)"
+                );
+                prev_key = k;
+                cur = m.mem.peek(next_addr(cur, lvl)) as Addr;
+                assert_ne!(cur, NULL, "broken chain at level {lvl}");
+            }
+            if lvl == 0 {
+                let mut c = m.mem.peek(next_addr(self.head, 0)) as Addr;
+                while c != self.tail {
+                    count += 1;
+                    c = m.mem.peek(next_addr(c, 0)) as Addr;
+                }
+            }
+        }
+        count
+    }
+
+    /// Out-of-band drain of all keys in bottom-level order (tests).
+    pub fn keys_in_order(&self, sim: &Sim) -> Vec<u64> {
+        let m = sim.machine();
+        let m = m.borrow();
+        let mut out = Vec::new();
+        let mut cur = m.mem.peek(next_addr(self.head, 0)) as Addr;
+        while cur != self.tail {
+            out.push(m.mem.peek(cur + KEY));
+            cur = m.mem.peek(next_addr(cur, 0)) as Addr;
+        }
+        out
+    }
+}
+
+// The queue handle is cloned into every processor's program.
+impl Clone for SimSkipQueue {
+    fn clone(&self) -> Self {
+        Self {
+            head: self.head,
+            tail: self.tail,
+            max_level: self.max_level,
+            p_level: self.p_level,
+            strict: self.strict,
+            registry: self.registry,
+            nproc: self.nproc,
+            garbage: Rc::clone(&self.garbage),
+            stats: Rc::clone(&self.stats),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pqsim::SimConfig;
+
+    fn new_sim(n: u32) -> Sim {
+        Sim::new(SimConfig::new(n).with_seed(42))
+    }
+
+    #[test]
+    fn empty_queue_returns_none() {
+        let mut sim = new_sim(1);
+        let q = SimSkipQueue::create(&sim, 8, true);
+        let out = sim.alloc_shared(1);
+        let q2 = q.clone();
+        sim.spawn(move |p| async move {
+            let r = q2.delete_min(&p).await;
+            p.write(out, if r.is_none() { 1 } else { 0 }).await;
+        });
+        sim.run();
+        assert_eq!(sim.read_word(out), 1);
+    }
+
+    #[test]
+    fn single_proc_insert_delete_ordering() {
+        let mut sim = new_sim(1);
+        let q = SimSkipQueue::create(&sim, 8, true);
+        let out = sim.alloc_shared(16);
+        let q2 = q.clone();
+        sim.spawn(move |p| async move {
+            for k in [5u64, 2, 9, 1, 7] {
+                q2.insert(&p, k, k * 10).await;
+            }
+            for i in 0..5u32 {
+                let (k, v) = q2.delete_min(&p).await.unwrap();
+                p.write(out + 2 * i, k).await;
+                p.write(out + 2 * i + 1, v).await;
+            }
+        });
+        sim.run();
+        let keys: Vec<u64> = (0..5).map(|i| sim.read_word(out + 2 * i)).collect();
+        assert_eq!(keys, vec![1, 2, 5, 7, 9]);
+        let vals: Vec<u64> = (0..5).map(|i| sim.read_word(out + 2 * i + 1)).collect();
+        assert_eq!(vals, vec![10, 20, 50, 70, 90]);
+        assert_eq!(q.check_invariants(&sim), 0);
+        assert_eq!(q.stats().retired, 5);
+    }
+
+    #[test]
+    fn update_path_overwrites_value() {
+        let mut sim = new_sim(1);
+        let q = SimSkipQueue::create(&sim, 8, true);
+        let out = sim.alloc_shared(3);
+        let q2 = q.clone();
+        sim.spawn(move |p| async move {
+            let a = q2.insert(&p, 7, 1).await;
+            let b = q2.insert(&p, 7, 2).await;
+            p.write(out, (a == InsertOutcome::Inserted) as u64).await;
+            p.write(out + 1, (b == InsertOutcome::Updated) as u64).await;
+            let (_, v) = q2.delete_min(&p).await.unwrap();
+            p.write(out + 2, v).await;
+        });
+        sim.run();
+        assert_eq!(sim.read_word(out), 1);
+        assert_eq!(sim.read_word(out + 1), 1);
+        assert_eq!(sim.read_word(out + 2), 2);
+        assert_eq!(q.check_invariants(&sim), 0);
+    }
+
+    #[test]
+    fn concurrent_inserts_all_linked_in_order() {
+        let mut sim = new_sim(8);
+        let q = SimSkipQueue::create(&sim, 12, true);
+        for t in 0..8u64 {
+            let q2 = q.clone();
+            sim.spawn(move |p| async move {
+                for i in 0..40u64 {
+                    // Distinct keys across processors.
+                    q2.insert(&p, 1 + t + 8 * i, t).await;
+                    p.work(50);
+                }
+            });
+        }
+        sim.run();
+        assert_eq!(q.check_invariants(&sim), 320);
+        let keys = q.keys_in_order(&sim);
+        let mut sorted = keys.clone();
+        sorted.sort_unstable();
+        assert_eq!(keys, sorted);
+        assert_eq!(keys.len(), 320);
+    }
+
+    #[test]
+    fn concurrent_mixed_no_duplicates_no_losses() {
+        let mut sim = new_sim(8);
+        let q = SimSkipQueue::create(&sim, 12, true);
+        let deleted = sim.alloc_shared(8 * 64);
+        let dcount = sim.alloc_shared(8);
+        for t in 0..8u32 {
+            let q2 = q.clone();
+            sim.spawn(move |p| async move {
+                let mut mine = 0u32;
+                for i in 0..32u64 {
+                    q2.insert(&p, 1 + u64::from(t) + 8 * i, 7).await;
+                    p.work(30);
+                    if i % 2 == 1 {
+                        if let Some((k, _)) = q2.delete_min(&p).await {
+                            p.write(deleted + t * 64 + mine, k).await;
+                            mine += 1;
+                        }
+                    }
+                }
+                p.write(dcount + t, u64::from(mine)).await;
+            });
+        }
+        sim.run();
+        let mut got = Vec::new();
+        for t in 0..8u32 {
+            let c = sim.read_word(dcount + t) as u32;
+            for i in 0..c {
+                got.push(sim.read_word(deleted + t * 64 + i));
+            }
+        }
+        let remaining = q.keys_in_order(&sim);
+        assert_eq!(got.len() + remaining.len(), 8 * 32, "conservation");
+        let mut all: Vec<u64> = got.iter().chain(remaining.iter()).copied().collect();
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), 8 * 32, "no duplicates");
+        q.check_invariants(&sim);
+    }
+
+    #[test]
+    fn populate_builds_valid_structure() {
+        let sim = new_sim(4);
+        let q = SimSkipQueue::create(&sim, 10, true);
+        let mut rng = Pcg32::new(7, 7);
+        let keys = q.populate(&sim, &mut rng, 500, 1 << 40);
+        assert_eq!(keys.len(), 500);
+        assert_eq!(q.check_invariants(&sim), 500);
+        let in_order = q.keys_in_order(&sim);
+        assert_eq!(in_order, keys, "populate links keys in sorted order");
+    }
+
+    #[test]
+    fn populated_queue_drains_in_order() {
+        let mut sim = new_sim(2);
+        let q = SimSkipQueue::create(&sim, 10, true);
+        let mut rng = Pcg32::new(9, 1);
+        let keys = q.populate(&sim, &mut rng, 64, 1 << 30);
+        let out = sim.alloc_shared(64);
+        let q2 = q.clone();
+        sim.spawn(move |p| async move {
+            for i in 0..64u32 {
+                let (k, _) = q2.delete_min(&p).await.unwrap();
+                p.write(out + i, k).await;
+            }
+            assert!(q2.delete_min(&p).await.is_none());
+        });
+        sim.run();
+        let got: Vec<u64> = (0..64).map(|i| sim.read_word(out + i)).collect();
+        assert_eq!(got, keys);
+    }
+
+    #[test]
+    fn relaxed_mode_skips_timestamps() {
+        let mut sim = new_sim(2);
+        let q = SimSkipQueue::create(&sim, 8, false);
+        assert!(!q.is_strict());
+        let out = sim.alloc_shared(1);
+        let q2 = q.clone();
+        sim.spawn(move |p| async move {
+            q2.insert(&p, 5, 50).await;
+            let (k, _) = q2.delete_min(&p).await.unwrap();
+            p.write(out, k).await;
+        });
+        sim.run();
+        assert_eq!(sim.read_word(out), 5);
+    }
+
+    #[test]
+    fn strict_timestamp_ignores_concurrent_insert() {
+        // A node whose timestamp is MAX (insert incomplete) must be ignored
+        // by a strict delete-min: construct that state directly.
+        let mut sim = new_sim(1);
+        let q = SimSkipQueue::create(&sim, 8, true);
+        let mut rng = Pcg32::new(3, 3);
+        q.populate(&sim, &mut rng, 2, 1 << 20);
+        let keys = q.keys_in_order(&sim);
+        // Manually mark the smaller node as "insert in progress".
+        {
+            let m = sim.machine();
+            let mut m = m.borrow_mut();
+            let first = m.mem.peek(next_addr(q.head, 0)) as Addr;
+            m.mem.poke(first + TIMESTAMP, MAX_TIME);
+        }
+        let out = sim.alloc_shared(1);
+        let q2 = q.clone();
+        sim.spawn(move |p| async move {
+            let (k, _) = q2.delete_min(&p).await.unwrap();
+            p.write(out, k).await;
+        });
+        sim.run();
+        // The first (in-progress) key is skipped; the second is returned.
+        assert_eq!(sim.read_word(out), keys[1]);
+    }
+
+    #[test]
+    fn collector_reclaims_quiesced_nodes() {
+        let mut sim = new_sim(3); // 2 workers + 1 collector
+        let q = SimSkipQueue::create(&sim, 8, true);
+        let done = Rc::new(std::cell::Cell::new(0u32));
+        let freed = Rc::new(std::cell::Cell::new(0u64));
+        for t in 0..2u64 {
+            let q2 = q.clone();
+            let done = Rc::clone(&done);
+            sim.spawn(move |p| async move {
+                for i in 0..50u64 {
+                    q2.insert(&p, 1 + t + 2 * i, t).await;
+                    p.work(40);
+                    q2.delete_min(&p).await;
+                }
+                done.set(done.get() + 1);
+            });
+        }
+        {
+            let q2 = q.clone();
+            let done = Rc::clone(&done);
+            let freed2 = Rc::clone(&freed);
+            sim.spawn_on(2, move |p| async move {
+                freed2.set(q2.run_collector(&p, done, 2).await);
+            });
+        }
+        sim.run();
+        assert_eq!(q.garbage_len(), 0, "collector drains all garbage");
+        assert_eq!(freed.get(), q.stats().retired, "every retired node freed");
+        assert!(freed.get() >= 90, "most deletes succeeded: {}", freed.get());
+    }
+
+    #[test]
+    fn collector_enables_memory_reuse() {
+        // With the collector, churny workloads reuse node blocks instead of
+        // growing the arena without bound.
+        use crate::workload::{run_workload, QueueKind, WorkloadConfig};
+        let with_gc = WorkloadConfig {
+            queue: QueueKind::SkipQueue { strict: true },
+            nproc: 4,
+            initial_size: 20,
+            total_ops: 2_000,
+            gc_collector: true,
+            ..WorkloadConfig::default()
+        };
+        let without_gc = WorkloadConfig {
+            gc_collector: false,
+            ..with_gc.clone()
+        };
+        let a = run_workload(&with_gc);
+        let b = run_workload(&without_gc);
+        assert!(a.gc_freed > 0, "collector freed nodes");
+        assert_eq!(b.gc_freed, 0);
+        // Same logical outcome either way.
+        assert_eq!(a.insert.count + a.delete.count, 2_000);
+        assert_eq!(b.insert.count + b.delete.count, 2_000);
+    }
+
+    #[test]
+    fn determinism_same_seed_same_final_state() {
+        fn run(seed: u64) -> (Vec<u64>, u64) {
+            let mut sim = Sim::new(SimConfig::new(4).with_seed(seed));
+            let q = SimSkipQueue::create(&sim, 10, true);
+            for t in 0..4u64 {
+                let q2 = q.clone();
+                sim.spawn(move |p| async move {
+                    for _ in 0..32u64 {
+                        let key = 1 + p.gen_range_u64(1 << 30);
+                        q2.insert(&p, key, t).await;
+                        p.work(p.gen_range_u64(200));
+                        if p.coin(0.5) {
+                            q2.delete_min(&p).await;
+                        }
+                    }
+                });
+            }
+            let r = sim.run();
+            (q.keys_in_order(&sim), r.final_time)
+        }
+        assert_eq!(run(11), run(11));
+        assert_ne!(run(11).1, run(12).1);
+    }
+}

@@ -1,0 +1,148 @@
+//! Parallel single-source shortest paths — the "numerical algorithms" /
+//! "parallel graph algorithms" application family the paper cites (Quinn &
+//! Deo).
+//!
+//! ```text
+//! cargo run --release --example parallel_sssp
+//! ```
+//!
+//! A label-correcting parallel Dijkstra: the frontier is a shared
+//! `SkipQueue` keyed by tentative distance; workers repeatedly extract the
+//! closest vertex, relax its out-edges with atomic `fetch_min` on the
+//! distance array, and re-insert improved vertices. Stale queue entries
+//! (distance no longer current) are skipped. The result is verified
+//! against sequential Dijkstra.
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use skipqueue::SkipQueue;
+
+struct Graph {
+    /// CSR adjacency: `adj[offsets[v]..offsets[v+1]]` = (target, weight).
+    offsets: Vec<usize>,
+    adj: Vec<(u32, u32)>,
+}
+
+impl Graph {
+    /// Random sparse digraph with `n` vertices, ~`deg` out-edges each, plus
+    /// a Hamiltonian-ish backbone so everything is reachable.
+    fn random(n: usize, deg: usize, seed: u64) -> Self {
+        let mut s = seed | 1;
+        let mut next = move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            s
+        };
+        let mut edges: Vec<Vec<(u32, u32)>> = vec![Vec::new(); n];
+        for v in 0..n {
+            edges[v].push((((v + 1) % n) as u32, (next() % 1_000 + 1) as u32));
+            for _ in 0..deg {
+                let to = (next() % n as u64) as u32;
+                let w = (next() % 1_000 + 1) as u32;
+                edges[v].push((to, w));
+            }
+        }
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut adj = Vec::new();
+        offsets.push(0);
+        for v in 0..n {
+            adj.extend_from_slice(&edges[v]);
+            offsets.push(adj.len());
+        }
+        Self { offsets, adj }
+    }
+
+    fn n(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    fn out(&self, v: u32) -> &[(u32, u32)] {
+        &self.adj[self.offsets[v as usize]..self.offsets[v as usize + 1]]
+    }
+}
+
+fn sequential_dijkstra(g: &Graph, src: u32) -> Vec<u64> {
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+    let mut dist = vec![u64::MAX; g.n()];
+    let mut heap = BinaryHeap::new();
+    dist[src as usize] = 0;
+    heap.push(Reverse((0u64, src)));
+    while let Some(Reverse((d, v))) = heap.pop() {
+        if d > dist[v as usize] {
+            continue;
+        }
+        for &(to, w) in g.out(v) {
+            let nd = d + u64::from(w);
+            if nd < dist[to as usize] {
+                dist[to as usize] = nd;
+                heap.push(Reverse((nd, to)));
+            }
+        }
+    }
+    dist
+}
+
+fn parallel_dijkstra(g: &Graph, src: u32, workers: usize) -> Vec<u64> {
+    let dist: Vec<AtomicU64> = (0..g.n()).map(|_| AtomicU64::new(u64::MAX)).collect();
+    let frontier: Arc<SkipQueue<u64, u32>> = Arc::new(SkipQueue::new());
+    let active = AtomicI64::new(0);
+
+    dist[src as usize].store(0, Ordering::Relaxed);
+    frontier.insert(0, src);
+
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            let frontier = Arc::clone(&frontier);
+            let dist = &dist;
+            let active = &active;
+            s.spawn(move || loop {
+                let Some((d, v)) = frontier.delete_min() else {
+                    if active.load(Ordering::Acquire) == 0 {
+                        break;
+                    }
+                    std::thread::yield_now();
+                    continue;
+                };
+                active.fetch_add(1, Ordering::AcqRel);
+                // Skip stale entries: the vertex has been settled closer.
+                if d <= dist[v as usize].load(Ordering::Acquire) {
+                    for &(to, w) in g.out(v) {
+                        let nd = d + u64::from(w);
+                        // fetch_min relaxation: concurrent improvers race
+                        // safely; only a strict improvement re-enqueues.
+                        if nd < dist[to as usize].fetch_min(nd, Ordering::AcqRel) {
+                            frontier.insert(nd, to);
+                        }
+                    }
+                }
+                active.fetch_sub(1, Ordering::AcqRel);
+            });
+        }
+    });
+    dist.into_iter().map(|d| d.into_inner()).collect()
+}
+
+fn main() {
+    let g = Graph::random(50_000, 6, 0x5EED);
+    let src = 0;
+    let t0 = std::time::Instant::now();
+    let reference = sequential_dijkstra(&g, src);
+    println!(
+        "sequential Dijkstra: {:?} ({} vertices, {} edges)",
+        t0.elapsed(),
+        g.n(),
+        g.adj.len()
+    );
+    for workers in [1, 2, 4, 8] {
+        let t0 = std::time::Instant::now();
+        let got = parallel_dijkstra(&g, src, workers);
+        let dt = t0.elapsed();
+        assert_eq!(got, reference, "{workers}-worker distances differ");
+        println!("parallel, {workers:>2} workers: {dt:?} — distances verified");
+    }
+    let reachable = reference.iter().filter(|&&d| d != u64::MAX).count();
+    println!("{reachable}/{} vertices reachable from source", g.n());
+}

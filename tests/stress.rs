@@ -1,0 +1,121 @@
+//! Long-running stress tests, `#[ignore]`d by default. Run explicitly with
+//!
+//! ```text
+//! cargo test --release --test stress -- --ignored
+//! ```
+//!
+//! These push the native structures far beyond the regular suite's budgets:
+//! minutes of churn, full thread fan-out, and large paper-scale simulator
+//! runs — the kind of soak that shakes out rare interleavings.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use funnel::FunnelList;
+use huntheap::HuntHeap;
+use skipqueue::{PriorityQueue, SkipQueue};
+
+fn soak<Q: PriorityQueue<u64, u64> + Send + Sync + 'static>(q: Q, threads: u64, ops: u64) {
+    let q = Arc::new(q);
+    let inserted = AtomicU64::new(0);
+    let deleted = AtomicU64::new(0);
+    std::thread::scope(|s| {
+        for t in 0..threads {
+            let q = Arc::clone(&q);
+            let inserted = &inserted;
+            let deleted = &deleted;
+            s.spawn(move || {
+                let mut state = (t + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+                for i in 0..ops {
+                    state ^= state << 13;
+                    state ^= state >> 7;
+                    state ^= state << 17;
+                    match state % 4 {
+                        0 | 1 => {
+                            q.insert(state >> 8, t);
+                            inserted.fetch_add(1, Ordering::Relaxed);
+                        }
+                        2 => {
+                            if q.delete_min().is_some() {
+                                deleted.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                        _ => {
+                            // Bursts: drain a few in a row.
+                            for _ in 0..(i % 5) {
+                                if q.delete_min().is_some() {
+                                    deleted.fetch_add(1, Ordering::Relaxed);
+                                }
+                            }
+                        }
+                    }
+                }
+            });
+        }
+    });
+    let ins = inserted.load(Ordering::Relaxed);
+    let del = deleted.load(Ordering::Relaxed);
+    assert_eq!(q.len() as u64, ins - del, "conservation after soak");
+    // Drain in order.
+    let mut prev = 0;
+    let mut n = 0u64;
+    while let Some((k, _)) = q.delete_min() {
+        assert!(k >= prev);
+        prev = k;
+        n += 1;
+    }
+    assert_eq!(n, ins - del);
+}
+
+#[test]
+#[ignore = "multi-minute soak; run with --ignored"]
+fn skipqueue_soak() {
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get() as u64)
+        .unwrap_or(8);
+    soak(SkipQueue::new(), threads, 400_000);
+}
+
+#[test]
+#[ignore = "multi-minute soak; run with --ignored"]
+fn relaxed_skipqueue_soak() {
+    soak(SkipQueue::new_relaxed(), 8, 400_000);
+}
+
+#[test]
+#[ignore = "multi-minute soak; run with --ignored"]
+fn hunt_heap_soak() {
+    soak(HuntHeap::with_capacity(2_000_000), 8, 200_000);
+}
+
+#[test]
+#[ignore = "multi-minute soak; run with --ignored"]
+fn funnel_list_soak() {
+    // Smaller budget: the list is O(n) per op by design.
+    soak(FunnelList::new(), 8, 30_000);
+}
+
+#[test]
+#[ignore = "paper-scale simulation; run with --ignored"]
+fn full_scale_figure3_point() {
+    use simpq::{run_workload, QueueKind, WorkloadConfig};
+    // The full 256-processor, 70 000-op small-structure point for all three
+    // structures — the exact headline measurement of the paper.
+    for kind in [
+        QueueKind::SkipQueue { strict: true },
+        QueueKind::HuntHeap,
+        QueueKind::FunnelList,
+    ] {
+        let r = run_workload(&WorkloadConfig {
+            queue: kind,
+            nproc: 256,
+            initial_size: 50,
+            total_ops: 70_000,
+            insert_ratio: 0.5,
+            work_cycles: 100,
+            ..WorkloadConfig::default()
+        });
+        assert_eq!(r.insert.count + r.delete.count, 70_000);
+        assert!(r.overall.mean > 0.0);
+    }
+}
