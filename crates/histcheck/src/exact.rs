@@ -40,20 +40,60 @@ struct Delete {
     responded: u64,
 }
 
+/// Which correctness condition the exact checker decides.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum ExactMode {
+    /// Definition 1: a delete may only return values whose insert
+    /// *completely preceded* it in the recorded history. Appropriate when
+    /// the history's stamps are taken at the operations' serialization
+    /// points (e.g. the simulator's internal taps).
+    Definition1,
+    /// Standard linearizability: a delete may also return a value whose
+    /// insert overlaps it, linearizing that insert just before the delete.
+    /// Appropriate for histories recorded at operation *boundaries*, where
+    /// a strict queue's internal stamp order is invisible.
+    Linearizable,
+}
+
 impl History {
     /// Exactly decides Definition 1. Panics if the history holds more than
     /// [`MAX_EXACT_DELETES`] delete-mins (use
     /// [`History::check_strict`](crate::History::check_strict) for large
     /// histories).
     pub fn check_strict_exact(&self) -> ExactOutcome {
-        // Inserts: value -> completion stamp. (Values are unique.)
-        let mut insert_done: HashMap<u64, u64> = HashMap::new();
+        self.check_exact(ExactMode::Definition1)
+    }
+
+    /// Decides standard linearizability against the sequential priority
+    /// queue: like [`check_strict_exact`](History::check_strict_exact) but a
+    /// delete may return a value whose insert overlaps it (the insert
+    /// linearizes immediately before the delete). This is the right ground
+    /// truth for histories recorded at operation boundaries, where a strict
+    /// queue's delete can legally hand back a value whose insert call has
+    /// not yet returned.
+    ///
+    /// Complete (every linearizable history is accepted) and sound up to
+    /// one known over-approximation: a concurrently-claimed insert is
+    /// assumed placeable after all earlier deletes, which a three-way
+    /// interval race can contradict. None of the necessary conditions in
+    /// [`check_strict`](History::check_strict) catch such histories either,
+    /// and real queue executions in the test suites do not produce them.
+    pub fn check_linearizable_exact(&self) -> ExactOutcome {
+        self.check_exact(ExactMode::Linearizable)
+    }
+
+    fn check_exact(&self, mode: ExactMode) -> ExactOutcome {
+        // Inserts: value -> (invocation, completion) stamps. (Values are
+        // unique.)
+        let mut insert_span: HashMap<u64, (u64, u64)> = HashMap::new();
         for op in self.ops() {
             if let Op::Insert {
-                value, responded, ..
+                value,
+                invoked,
+                responded,
             } = op
             {
-                insert_done.insert(*value, *responded);
+                insert_span.insert(*value, (*invoked, *responded));
             }
         }
         let deletes: Vec<Delete> = self
@@ -80,7 +120,7 @@ impl History {
         // A returned value that was never inserted can never linearize.
         for d in &deletes {
             if let Some(v) = d.value {
-                if !insert_done.contains_key(&v) {
+                if !insert_span.contains_key(&v) {
                     return ExactOutcome::NotLinearizable;
                 }
             }
@@ -93,9 +133,9 @@ impl History {
         // sorted. I_i depends only on i.
         let mut inserted_before: Vec<Vec<u64>> = Vec::with_capacity(n);
         for d in &deletes {
-            let mut vs: Vec<u64> = insert_done
+            let mut vs: Vec<u64> = insert_span
                 .iter()
-                .filter(|(_, done)| **done < d.invoked)
+                .filter(|(_, (_, done))| *done < d.invoked)
                 .map(|(v, _)| *v)
                 .collect();
             vs.sort_unstable();
@@ -147,6 +187,25 @@ impl History {
                 }
                 // EMPTY is also legal when I_d - D is empty — covered: then
                 // `expected` is None and compares against value == None.
+                //
+                // Linearizable mode additionally allows d to claim an insert
+                // overlapping it: linearize that insert immediately before
+                // d, so it is pending at d and (being smaller than every
+                // mandatory pending value) is the minimum.
+                if mode == ExactMode::Linearizable {
+                    if let Some(v) = deletes[d].value {
+                        let overlapping = insert_span
+                            .get(&v)
+                            .is_some_and(|(inv, _)| *inv < deletes[d].responded)
+                            && !inserted_before[d].contains(&v);
+                        let unclaimed =
+                            !(0..n).any(|r| rest & (1 << r) != 0 && deletes[r].value == Some(v));
+                        if overlapping && unclaimed && expected.is_none_or(|m| v < m) {
+                            feasible[s] = true;
+                            break;
+                        }
+                    }
+                }
             }
         }
         if feasible[full as usize] {
@@ -301,6 +360,65 @@ mod tests {
             if h.check_strict_exact() == ExactOutcome::Linearizable {
                 assert!(h.check_strict().is_empty(), "fast audit false alarm");
             }
+        }
+    }
+
+    #[test]
+    fn linearizable_mode_accepts_concurrent_claim() {
+        // The same history Definition 1 rejects: linearize the insert just
+        // before the overlapping delete.
+        let h = hist(vec![ins(5, 3, 8), del(Some(5), 4, 6)]);
+        assert_eq!(h.check_strict_exact(), ExactOutcome::NotLinearizable);
+        assert_eq!(h.check_linearizable_exact(), ExactOutcome::Linearizable);
+    }
+
+    #[test]
+    fn linearizable_mode_still_needs_interval_overlap() {
+        // The insert was invoked only after the delete responded: no
+        // linearization order can put it first.
+        let h = hist(vec![ins(5, 7, 8), del(Some(5), 1, 2)]);
+        assert_eq!(h.check_linearizable_exact(), ExactOutcome::NotLinearizable);
+    }
+
+    #[test]
+    fn linearizable_mode_keeps_min_condition() {
+        // Claiming the concurrent 9 would leave the completed smaller 1
+        // pending: still not the minimum.
+        let h = hist(vec![
+            ins(1, 1, 2),
+            ins(9, 3, 8),
+            del(Some(9), 4, 6),
+            del(Some(1), 9, 10),
+        ]);
+        assert_eq!(h.check_linearizable_exact(), ExactOutcome::NotLinearizable);
+    }
+
+    #[test]
+    fn linearizable_mode_rejects_double_claim() {
+        let h = hist(vec![ins(4, 1, 10), del(Some(4), 2, 3), del(Some(4), 4, 5)]);
+        assert_eq!(h.check_linearizable_exact(), ExactOutcome::NotLinearizable);
+    }
+
+    #[test]
+    fn modes_agree_without_overlapping_claims() {
+        let histories = vec![
+            hist(vec![
+                ins(5, 1, 2),
+                ins(3, 3, 4),
+                del(Some(3), 5, 6),
+                del(Some(5), 7, 8),
+                del(None, 9, 10),
+            ]),
+            hist(vec![
+                ins(1, 1, 2),
+                ins(7, 3, 4),
+                del(Some(7), 5, 6),
+                del(Some(1), 7, 8),
+            ]),
+            hist(vec![ins(2, 1, 2), del(None, 3, 4)]),
+        ];
+        for h in histories {
+            assert_eq!(h.check_strict_exact(), h.check_linearizable_exact());
         }
     }
 

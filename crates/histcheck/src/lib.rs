@@ -102,6 +102,18 @@ pub enum Violation {
         /// What the delete actually returned (`None` = EMPTY).
         returned: Option<u64>,
     },
+    /// A delete returned a value whose insert had not yet completed when
+    /// the delete was invoked (Definition 1 condition 4: only values whose
+    /// inserts *completely precede* the delete are in its candidate set
+    /// `I`). Flagged by [`History::check_definition1`] only.
+    ReturnedConcurrentInsert {
+        /// The returned value.
+        value: u64,
+        /// When the value's insert responded.
+        insert_responded: u64,
+        /// When the offending delete was invoked.
+        delete_invoked: u64,
+    },
 }
 
 /// A recorded history of insert / delete-min operations.
@@ -227,6 +239,53 @@ impl History {
                             missing: *v,
                             returned: *value,
                         }),
+                    }
+                }
+            }
+        }
+        violations
+    }
+
+    /// Full Definition-1 audit: everything [`History::check_strict`] checks
+    /// plus condition 4 — a delete may only return a value whose insert
+    /// *completely preceded* it (`insert.responded < delete.invoked`; an
+    /// exact tie is treated as preceding, which is the sound direction for
+    /// coarse clocks).
+    ///
+    /// Condition 4 is meaningful only when the recorded stamps bracket the
+    /// operations' serialization points tightly — e.g. the simulator's
+    /// relaxed-SkipQueue tap, where an insert "responds" when its
+    /// visibility write lands and a delete is "invoked" at its claim SWAP,
+    /// so a hit proves the delete committed to a node whose insert was
+    /// still stamping. Under loose wall-clock boundary taps a linearizable
+    /// queue may legally return an overlapping insert — use
+    /// [`History::check_strict`] (or [`History::check_linearizable_exact`])
+    /// for those histories instead.
+    pub fn check_definition1(&self) -> Vec<Violation> {
+        let mut violations = self.check_strict();
+        let mut insert_done: HashMap<u64, u64> = HashMap::new();
+        for op in &self.ops {
+            if let Op::Insert {
+                value, responded, ..
+            } = op
+            {
+                insert_done.insert(*value, *responded);
+            }
+        }
+        for op in &self.ops {
+            if let Op::DeleteMin {
+                value: Some(v),
+                invoked,
+                ..
+            } = op
+            {
+                if let Some(ins_resp) = insert_done.get(v) {
+                    if *ins_resp > *invoked {
+                        violations.push(Violation::ReturnedConcurrentInsert {
+                            value: *v,
+                            insert_responded: *ins_resp,
+                            delete_invoked: *invoked,
+                        });
                     }
                 }
             }
@@ -430,6 +489,55 @@ mod tests {
         h.push(del(Some(1), 7, 8));
         assert!(h.check_integrity().is_empty());
         assert!(!h.check_strict().is_empty());
+    }
+
+    #[test]
+    fn definition1_flags_returned_concurrent_insert() {
+        let mut h = History::new();
+        // Insert of 5 responds at 7; the delete claiming it began at 3.
+        h.push(ins(5, 1, 7));
+        h.push(del(Some(5), 3, 9));
+        assert!(h.check_strict().is_empty(), "condition 4 is not in strict");
+        assert_eq!(
+            h.check_definition1(),
+            vec![Violation::ReturnedConcurrentInsert {
+                value: 5,
+                insert_responded: 7,
+                delete_invoked: 3,
+            }]
+        );
+    }
+
+    #[test]
+    fn definition1_accepts_completely_preceding_insert() {
+        let mut h = History::new();
+        h.push(ins(5, 1, 2));
+        h.push(del(Some(5), 3, 4));
+        assert!(h.check_definition1().is_empty());
+    }
+
+    #[test]
+    fn definition1_treats_stamp_tie_as_preceding() {
+        // Coarse clocks can stamp insert-response and delete-invocation
+        // with the same value; the tie must not be flagged.
+        let mut h = History::new();
+        h.push(ins(5, 1, 3));
+        h.push(del(Some(5), 3, 6));
+        assert!(h.check_definition1().is_empty());
+    }
+
+    #[test]
+    fn definition1_includes_strict_conditions() {
+        let mut h = History::new();
+        h.push(ins(1, 1, 2));
+        h.push(ins(7, 3, 4));
+        h.push(del(Some(7), 5, 6));
+        assert!(h
+            .check_definition1()
+            .contains(&Violation::LostSmallerValue {
+                missing: 1,
+                returned: Some(7),
+            }));
     }
 
     #[test]

@@ -1,0 +1,176 @@
+//! Mutation-style audits: start from a known-good history, apply one
+//! targeted corruption, and assert that exactly the intended checker
+//! condition fires. This is the evidence that each audit condition is
+//! *live* — a checker that accepts every history would pass all positive
+//! tests in the workspace.
+
+use histcheck::{History, Op, Violation};
+
+fn ins(value: u64, invoked: u64, responded: u64) -> Op {
+    Op::Insert {
+        value,
+        invoked,
+        responded,
+    }
+}
+
+fn del(value: Option<u64>, invoked: u64, responded: u64) -> Op {
+    Op::DeleteMin {
+        value,
+        invoked,
+        responded,
+    }
+}
+
+/// A sequential, Definition-1-conforming baseline: three inserts drained
+/// in priority order, then a correct EMPTY.
+fn good_history() -> History {
+    let mut h = History::new();
+    h.push(ins(30, 1, 2));
+    h.push(ins(10, 3, 4));
+    h.push(ins(20, 5, 6));
+    h.push(del(Some(10), 7, 8));
+    h.push(del(Some(20), 9, 10));
+    h.push(del(Some(30), 11, 12));
+    h.push(del(None, 13, 14));
+    h
+}
+
+#[test]
+fn baseline_passes_every_audit() {
+    let h = good_history();
+    assert!(h.check_integrity().is_empty());
+    assert!(h.check_strict().is_empty());
+    assert!(h.check_definition1().is_empty());
+}
+
+// ---------------------------------------------------------------------
+// Integrity conditions (check_integrity and everything built on it).
+// ---------------------------------------------------------------------
+
+#[test]
+fn mutation_fabricated_value_fires_returned_never_inserted() {
+    let mut h = good_history();
+    // Corrupt one delete to return a value nobody inserted.
+    h.push(del(Some(999), 15, 16));
+    let v = h.check_integrity();
+    assert!(v.contains(&Violation::ReturnedNeverInserted { value: 999 }));
+}
+
+#[test]
+fn mutation_duplicated_return_fires_returned_twice() {
+    let mut h = good_history();
+    // A second delete claims 20 again (lost mark / double claim).
+    h.push(del(Some(20), 15, 16));
+    let v = h.check_integrity();
+    assert!(v.contains(&Violation::ReturnedTwice { value: 20 }));
+}
+
+// ---------------------------------------------------------------------
+// Strict anti-loss conditions (check_strict).
+// ---------------------------------------------------------------------
+
+#[test]
+fn mutation_dropped_delete_fires_lost_smaller_value() {
+    // Remove the delete of 10: the later delete of 20 now skipped a
+    // smaller, completely-inserted, unclaimed value.
+    let mut h = History::new();
+    h.push(ins(30, 1, 2));
+    h.push(ins(10, 3, 4));
+    h.push(ins(20, 5, 6));
+    h.push(del(Some(20), 9, 10));
+    h.push(del(Some(30), 11, 12));
+    let v = h.check_strict();
+    assert!(v.contains(&Violation::LostSmallerValue {
+        missing: 10,
+        returned: Some(20),
+    }));
+}
+
+#[test]
+fn mutation_swapped_return_order_fires_lost_smaller_value() {
+    // Swap the returned values of the first two deletes: 20 comes out
+    // while the fully-inserted 10 is claimed only by a strictly later
+    // delete — an ordering violation under Definition 1.
+    let mut h = History::new();
+    h.push(ins(30, 1, 2));
+    h.push(ins(10, 3, 4));
+    h.push(ins(20, 5, 6));
+    h.push(del(Some(20), 7, 8));
+    h.push(del(Some(10), 9, 10));
+    h.push(del(Some(30), 11, 12));
+    let v = h.check_strict();
+    assert_eq!(
+        v,
+        vec![Violation::LostSmallerValue {
+            missing: 10,
+            returned: Some(20),
+        }]
+    );
+}
+
+#[test]
+fn mutation_premature_empty_fires_lost_smaller_value() {
+    let mut h = History::new();
+    h.push(ins(10, 1, 2));
+    // EMPTY although 10 was fully inserted and never claimed.
+    h.push(del(None, 3, 4));
+    let v = h.check_strict();
+    assert_eq!(
+        v,
+        vec![Violation::LostSmallerValue {
+            missing: 10,
+            returned: None,
+        }]
+    );
+}
+
+// ---------------------------------------------------------------------
+// Definition-1 condition 4 (check_definition1 only).
+// ---------------------------------------------------------------------
+
+#[test]
+fn mutation_claimed_inflight_insert_fires_concurrent_insert() {
+    let mut h = good_history();
+    // An insert still in flight (responds at 20) is claimed by a delete
+    // invoked at 16 — legal for the relaxed queue, a condition-4 breach
+    // under Definition 1.
+    h.push(ins(5, 15, 20));
+    h.push(del(Some(5), 16, 18));
+    assert_eq!(
+        h.check_definition1(),
+        vec![Violation::ReturnedConcurrentInsert {
+            value: 5,
+            insert_responded: 20,
+            delete_invoked: 16,
+        }]
+    );
+    // check_strict deliberately does not decide condition 4.
+    assert!(h.check_strict().is_empty());
+}
+
+// ---------------------------------------------------------------------
+// The relaxed contract: integrity accepts what strict rejects.
+// ---------------------------------------------------------------------
+
+#[test]
+fn relaxed_legal_reordering_passes_integrity_only() {
+    // The §5.4 relaxed SkipQueue may return values out of priority order
+    // and may claim in-flight inserts; it must never lose or duplicate.
+    let mut h = History::new();
+    h.push(ins(10, 1, 2));
+    h.push(ins(20, 3, 4));
+    h.push(del(Some(20), 5, 6)); // out of order
+    h.push(ins(5, 7, 12));
+    h.push(del(Some(5), 8, 9)); // claims an in-flight insert
+    h.push(del(Some(10), 13, 14));
+    assert!(h.check_integrity().is_empty(), "relaxed-legal history");
+    assert!(!h.check_strict().is_empty());
+    assert!(h
+        .check_definition1()
+        .contains(&Violation::ReturnedConcurrentInsert {
+            value: 5,
+            insert_responded: 12,
+            delete_invoked: 8,
+        }));
+}

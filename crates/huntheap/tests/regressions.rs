@@ -1,0 +1,48 @@
+//! Deterministic replay of recorded proptest shrink cases.
+//!
+//! The offline proptest shim does not consume `.proptest-regressions`
+//! files, so shrunk failures are promoted to explicit tests here.
+
+use huntheap::HuntHeap;
+
+/// Shrink case recorded for `drain_after_concurrent_inserts_is_sorted`
+/// (proptests.proptest-regressions, cc 474aaa17): 33 keys with a
+/// duplicate pair, inserted from 4 threads, then drained sequentially.
+const SHRUNK_KEYS: [u32; 33] = [
+    0, 0, 0, 18889, 3859981246, 3999976390, 3369796219, 361561881, 3673351535, 132560590,
+    435401429, 1618126179, 3037514072, 615299310, 283467312, 3472302279, 2683124591, 3067611490,
+    1812535793, 1269234264, 1588994314, 650997084, 2442219101, 4170247115, 677851100, 42684810,
+    1591987199, 2121146342, 156827297, 1431385926, 616955338, 386433102, 3783862723,
+];
+
+fn drain_is_sorted(keys: &[u32]) {
+    let q: std::sync::Arc<HuntHeap<u32, ()>> =
+        std::sync::Arc::new(HuntHeap::with_capacity(keys.len() + 1));
+    let chunk = keys.len().div_ceil(4);
+    std::thread::scope(|s| {
+        for part in keys.chunks(chunk) {
+            let q = std::sync::Arc::clone(&q);
+            let part = part.to_vec();
+            s.spawn(move || {
+                for k in part {
+                    q.insert(k, ());
+                }
+            });
+        }
+    });
+    let mut expect = keys.to_vec();
+    expect.sort_unstable();
+    let mut got = Vec::new();
+    while let Some((k, _)) = q.delete_min() {
+        got.push(k);
+    }
+    assert_eq!(got, expect);
+}
+
+#[test]
+fn shrunk_concurrent_insert_drain_case() {
+    // The schedule-dependent failure needs many tries to reproduce.
+    for _ in 0..2000 {
+        drain_is_sorted(&SHRUNK_KEYS);
+    }
+}

@@ -17,7 +17,11 @@ use crate::proc::Proc;
 use crate::{Addr, Cycles, Pid, Word};
 
 /// Outcome of a completed simulation.
-#[derive(Clone, Debug)]
+///
+/// `PartialEq`/`Eq` support byte-exact determinism checks: the same
+/// programs, seed, scheduler spec, and fault plan must reproduce the
+/// identical report.
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct SimReport {
     /// Maximum local clock over all processors (machine makespan, cycles).
     pub final_time: Cycles,
@@ -367,7 +371,10 @@ mod tests {
         let mid = sim.run_until(500);
         assert!(mid.final_time <= 1_200, "slice stops near the horizon");
         let partial = sim.read_word(a);
-        assert!(partial > 0 && partial < 200, "mid-run state visible: {partial}");
+        assert!(
+            partial > 0 && partial < 200,
+            "mid-run state visible: {partial}"
+        );
         let fin = sim.run();
         assert!(fin.final_time >= mid.final_time);
         assert_eq!(sim.read_word(a), 200, "resume completes the programs");

@@ -58,6 +58,7 @@ pub mod machine;
 pub mod mem;
 pub mod proc;
 pub mod rng;
+pub mod sched;
 pub mod stats;
 pub mod trace;
 
@@ -67,6 +68,9 @@ pub use lock::LockId;
 pub use machine::{Machine, SimConfig};
 pub use proc::Proc;
 pub use rng::{Pcg32, SplitMix64};
+pub use sched::{
+    ClockOrder, FaultSpec, PctPriority, RandomPerturb, SchedPoint, SchedSpec, Scheduler, StallSpec,
+};
 pub use stats::{LatencyRecorder, LatencySummary};
 pub use trace::{TraceBuffer, TraceEvent};
 

@@ -11,6 +11,7 @@ use crate::cost::CostModel;
 use crate::lock::{LockId, LockTable};
 use crate::mem::MemState;
 use crate::rng::Pcg32;
+use crate::sched::{FaultSpec, FaultState, SchedPoint, SchedSpec, Scheduler};
 use crate::trace::{TraceBuffer, TraceEvent};
 use crate::{Addr, Cycles, Pid, Word};
 
@@ -25,6 +26,10 @@ pub struct SimConfig {
     pub seed: u64,
     /// Initial size of the shared-memory arena, in words (grows on demand).
     pub initial_words: usize,
+    /// Schedule perturbation (default: deterministic clock order).
+    pub sched: SchedSpec,
+    /// Fault-injection plan (default: inert).
+    pub faults: FaultSpec,
 }
 
 impl SimConfig {
@@ -35,6 +40,8 @@ impl SimConfig {
             cost: CostModel::default(),
             seed: 0x5EED_CAFE,
             initial_words: 1 << 16,
+            sched: SchedSpec::ClockOrder,
+            faults: FaultSpec::default(),
         }
     }
 
@@ -47,6 +54,18 @@ impl SimConfig {
     /// Sets the cost model (builder style).
     pub fn with_cost(mut self, cost: CostModel) -> Self {
         self.cost = cost;
+        self
+    }
+
+    /// Sets the schedule perturbation (builder style).
+    pub fn with_sched(mut self, sched: SchedSpec) -> Self {
+        self.sched = sched;
+        self
+    }
+
+    /// Sets the fault-injection plan (builder style).
+    pub fn with_faults(mut self, faults: FaultSpec) -> Self {
+        self.faults = faults;
         self
     }
 }
@@ -103,6 +122,15 @@ pub struct Machine {
     lock_wait: Vec<Cycles>,
     /// Time at which each currently-blocked processor blocked.
     blocked_since: Vec<Cycles>,
+    /// Live scheduler built from `cfg.sched`.
+    sched: Box<dyn Scheduler>,
+    /// Live fault-injection state built from `cfg.faults`.
+    faults: FaultState,
+    /// Boundary counter feeding the scheduler (counts scheduling points,
+    /// unlike `shared_ops` which counts applied operations).
+    sched_points: u64,
+    /// Total cycles of delay injected so far (diagnostics).
+    injected_delay: Cycles,
 }
 
 impl Machine {
@@ -113,6 +141,8 @@ impl Machine {
         let rngs = (0..cfg.nproc)
             .map(|p| Pcg32::for_pid(cfg.seed, p))
             .collect();
+        let sched = cfg.sched.build(cfg.seed, cfg.nproc);
+        let faults = FaultState::new(cfg.faults.clone(), cfg.seed);
         Self {
             mem: MemState::new(cfg.initial_words),
             locks: LockTable::new(),
@@ -120,11 +150,15 @@ impl Machine {
             state: vec![PState::Done; n],
             ready: BTreeSet::new(),
             rngs,
+            sched,
+            faults,
             cfg,
             shared_ops: 0,
             trace: TraceBuffer::disabled(),
             lock_wait: vec![0; n],
             blocked_since: vec![0; n],
+            sched_points: 0,
+            injected_delay: 0,
         }
     }
 
@@ -188,6 +222,28 @@ impl Machine {
     /// Total number of globally visible operations performed so far.
     pub fn shared_ops(&self) -> u64 {
         self.shared_ops
+    }
+
+    /// Total cycles of scheduler/fault delay injected so far.
+    pub fn injected_delay(&self) -> Cycles {
+        self.injected_delay
+    }
+
+    /// Scheduling hook fired once per shared-operation boundary, *before*
+    /// the operation's scheduling yield: any injected delay moves `pid`'s
+    /// local clock forward, so the executor re-sorts and every processor
+    /// whose clock is now earlier runs first. The operation then applies
+    /// at the delayed clock — the perturbed run is still a coherent timed
+    /// execution (clock reads stay monotone, memory visibility stays in
+    /// clock order).
+    pub(crate) fn pre_shared_op(&mut self, pid: Pid, point: SchedPoint) {
+        let idx = self.sched_points;
+        self.sched_points += 1;
+        let d = self.sched.delay(pid, point, idx) + self.faults.delay(pid, point, idx);
+        if d > 0 {
+            self.now[pid as usize] += d;
+            self.injected_delay += d;
+        }
     }
 
     /// Advances `pid`'s local clock by `cycles` of local work.

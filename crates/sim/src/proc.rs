@@ -18,6 +18,7 @@ use std::task::{Context, Poll};
 
 use crate::lock::LockId;
 use crate::machine::{AccessKind, Machine};
+use crate::sched::SchedPoint;
 use crate::{Addr, Cycles, Pid, Word};
 
 /// Handle to one virtual processor. Cheap to clone; all clones refer to the
@@ -43,10 +44,13 @@ pub struct Proc {
 }
 
 /// Future that yields to the scheduler exactly once, then applies a
-/// machine operation.
+/// machine operation. The first poll runs the schedule-perturbation hook
+/// before yielding, so any injected delay participates in the executor's
+/// min-clock ordering and the operation applies at the delayed time.
 struct OpFuture<'a, R, F: FnMut(&mut Machine, Pid) -> R> {
     proc: &'a Proc,
     op: F,
+    point: SchedPoint,
     yielded: bool,
 }
 
@@ -55,11 +59,15 @@ impl<R, F: FnMut(&mut Machine, Pid) -> R + Unpin> Future for OpFuture<'_, R, F> 
 
     fn poll(self: Pin<&mut Self>, _cx: &mut Context<'_>) -> Poll<R> {
         let this = self.get_mut();
+        let pid = this.proc.pid;
         if !this.yielded {
             this.yielded = true;
+            this.proc
+                .machine
+                .borrow_mut()
+                .pre_shared_op(pid, this.point);
             return Poll::Pending;
         }
-        let pid = this.proc.pid;
         let r = (this.op)(&mut this.proc.machine.borrow_mut(), pid);
         Poll::Ready(r)
     }
@@ -88,6 +96,11 @@ impl Future for AcquireFuture<'_> {
         match this.state {
             AcqState::Start => {
                 this.state = AcqState::Try;
+                let pid = this.proc.pid;
+                this.proc
+                    .machine
+                    .borrow_mut()
+                    .pre_shared_op(pid, SchedPoint::LockAcquire);
                 Poll::Pending
             }
             AcqState::Try => {
@@ -157,24 +170,28 @@ impl Proc {
 
     fn op<'a, R: 'a>(
         &'a self,
+        point: SchedPoint,
         op: impl FnMut(&mut Machine, Pid) -> R + Unpin + 'a,
     ) -> impl Future<Output = R> + 'a {
         OpFuture {
             proc: self,
             op,
+            point,
             yielded: false,
         }
     }
 
     /// Atomic read of a shared word.
     pub async fn read(&self, addr: Addr) -> Word {
-        self.op(move |m, pid| m.access(pid, addr, AccessKind::Read))
-            .await
+        self.op(SchedPoint::Access, move |m, pid| {
+            m.access(pid, addr, AccessKind::Read)
+        })
+        .await
     }
 
     /// Atomic write of a shared word.
     pub async fn write(&self, addr: Addr, value: Word) {
-        self.op(move |m, pid| {
+        self.op(SchedPoint::Access, move |m, pid| {
             m.access(pid, addr, AccessKind::Write(value));
         })
         .await;
@@ -182,27 +199,34 @@ impl Proc {
 
     /// Register-to-memory `SWAP`: stores `value`, returns the old value.
     pub async fn swap(&self, addr: Addr, value: Word) -> Word {
-        self.op(move |m, pid| m.access(pid, addr, AccessKind::Swap(value)))
-            .await
+        self.op(SchedPoint::Access, move |m, pid| {
+            m.access(pid, addr, AccessKind::Swap(value))
+        })
+        .await
     }
 
     /// Atomic fetch-and-add; returns the old value.
     pub async fn fetch_add(&self, addr: Addr, delta: Word) -> Word {
-        self.op(move |m, pid| m.access(pid, addr, AccessKind::FetchAdd(delta)))
-            .await
+        self.op(SchedPoint::Access, move |m, pid| {
+            m.access(pid, addr, AccessKind::FetchAdd(delta))
+        })
+        .await
     }
 
     /// Atomic compare-and-swap; returns the old value (success iff it equals
     /// `expected`).
     pub async fn cas(&self, addr: Addr, expected: Word, new: Word) -> Word {
-        self.op(move |m, pid| m.access(pid, addr, AccessKind::Cas { expected, new }))
-            .await
+        self.op(SchedPoint::Access, move |m, pid| {
+            m.access(pid, addr, AccessKind::Cas { expected, new })
+        })
+        .await
     }
 
     /// Reads the globally synchronized hardware clock (the paper's
     /// `getTime()`).
     pub async fn read_clock(&self) -> Cycles {
-        self.op(|m, pid| m.read_clock(pid)).await
+        self.op(SchedPoint::ClockRead, |m, pid| m.read_clock(pid))
+            .await
     }
 
     /// Acquires a FIFO semaphore lock, blocking in simulated time while it
@@ -218,7 +242,8 @@ impl Proc {
 
     /// Releases a lock held by this processor.
     pub async fn release(&self, lock: LockId) {
-        self.op(move |m, pid| m.release(pid, lock)).await
+        self.op(SchedPoint::LockRelease, move |m, pid| m.release(pid, lock))
+            .await
     }
 
     /// Allocates `len` zeroed shared words homed at this processor's node.

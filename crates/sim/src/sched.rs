@@ -1,0 +1,411 @@
+//! Pluggable schedule perturbation and fault injection.
+//!
+//! The executor always polls the runnable processor with the smallest
+//! `(local clock, pid)` — that invariant is what makes a run a valid
+//! real-time execution (shared operations apply in nondecreasing global
+//! time, and [`Machine::read_clock`](crate::machine::Machine::read_clock)
+//! stays monotone across processors). Adversarial scheduling therefore
+//! does **not** reorder polls directly: it injects *bounded delays into
+//! local clocks* at shared-operation boundaries, before the operation's
+//! scheduling yield. The delayed processor re-queues later, other
+//! processors run in between, and the perturbed interleaving is still a
+//! coherent timed execution — so history audits remain meaningful under
+//! every scheduler.
+//!
+//! Three [`Scheduler`] implementations are provided:
+//!
+//! * [`ClockOrder`] — the default deterministic scheduler: zero delay,
+//!   draws no randomness; byte-identical to the pre-scheduler executor.
+//! * [`RandomPerturb`] — seeded bounded noise on every boundary.
+//! * [`PctPriority`] — PCT-style priority scheduling (Burckhardt et al.,
+//!   "A Randomized Scheduler with Probabilistic Guarantees of Finding
+//!   Bugs"): each processor gets a random priority realized as a per-op
+//!   delay bias, with `depth - 1` change points at random operation
+//!   indices where the issuing processor's priority drops to the bottom.
+//!
+//! A composable [`FaultSpec`] adds forced-preemption windows, randomized
+//! extra lock-acquisition delay, and one-shot "stalled processor"
+//! injection (a huge-but-finite delay on one victim — the way to stress
+//! the Section-3 garbage collector's quiescence horizon, since the
+//! stalled processor keeps its registry entry pinned while the rest of
+//! the machine runs ahead).
+
+use crate::rng::Pcg32;
+use crate::{Cycles, Pid};
+
+/// Which kind of shared-operation boundary a delay hook fires at.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SchedPoint {
+    /// A shared-memory access (read / write / SWAP / FAA / CAS).
+    Access,
+    /// A hardware clock read.
+    ClockRead,
+    /// A lock acquisition attempt.
+    LockAcquire,
+    /// A lock release.
+    LockRelease,
+}
+
+/// A source of scheduling delays, consulted once per shared-operation
+/// boundary *before* the operation's scheduling yield.
+///
+/// Implementations must be deterministic functions of their construction
+/// parameters (seed included) and the call sequence; the executor's poll
+/// order is itself deterministic, so one spec + seed always reproduces
+/// one schedule exactly.
+pub trait Scheduler: std::fmt::Debug {
+    /// Extra cycles to charge `pid` before its `op_index`-th boundary
+    /// (a global counter over all processors).
+    fn delay(&mut self, pid: Pid, point: SchedPoint, op_index: u64) -> Cycles;
+}
+
+/// The default scheduler: pure deterministic clock order, zero delay.
+/// Draws no random numbers, so runs are byte-identical to a machine
+/// without scheduling hooks.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ClockOrder;
+
+impl Scheduler for ClockOrder {
+    fn delay(&mut self, _pid: Pid, _point: SchedPoint, _op_index: u64) -> Cycles {
+        0
+    }
+}
+
+/// Seeded random perturbation: every boundary gets an independent delay
+/// uniform in `[0, max_delay]`.
+#[derive(Clone, Debug)]
+pub struct RandomPerturb {
+    rng: Pcg32,
+    max_delay: Cycles,
+}
+
+impl RandomPerturb {
+    /// Creates a perturbing scheduler with the given noise bound.
+    pub fn new(seed: u64, max_delay: Cycles) -> Self {
+        Self {
+            rng: Pcg32::new(seed, SCHED_STREAM),
+            max_delay,
+        }
+    }
+}
+
+impl Scheduler for RandomPerturb {
+    fn delay(&mut self, _pid: Pid, _point: SchedPoint, _op_index: u64) -> Cycles {
+        if self.max_delay == 0 {
+            return 0;
+        }
+        self.rng.gen_range_u64(self.max_delay + 1)
+    }
+}
+
+/// PCT-style priority scheduler with configurable depth.
+///
+/// Each processor is assigned a distinct random priority rank; a
+/// processor of rank `r` (0 = highest) pays `r * unit` cycles at every
+/// boundary, so high-priority processors race ahead exactly as under
+/// strict-priority scheduling. `depth - 1` change points are drawn
+/// uniformly over `[0, expected_ops)`: when the global boundary counter
+/// crosses one, the processor issuing that boundary is demoted below
+/// every current rank. With `d = depth`, any bug requiring `d` ordered
+/// scheduling constraints is hit with probability `>= 1/(n * k^(d-1))`
+/// per run (n processors, k boundaries) — the PCT guarantee, transported
+/// to the timed setting.
+#[derive(Clone, Debug)]
+pub struct PctPriority {
+    /// Current rank per processor (0 = highest priority).
+    rank: Vec<u64>,
+    /// Remaining change points, descending (so `last()` is the next one).
+    change_points: Vec<u64>,
+    /// Delay per rank step.
+    unit: Cycles,
+    /// Next rank value handed to a demoted processor.
+    next_low: u64,
+}
+
+impl PctPriority {
+    /// Creates a PCT scheduler for `nproc` processors and a run expected
+    /// to execute about `expected_ops` shared-operation boundaries.
+    /// `unit` is the delay between adjacent priority ranks.
+    pub fn new(seed: u64, nproc: u32, depth: u32, expected_ops: u64, unit: Cycles) -> Self {
+        let mut rng = Pcg32::new(seed, SCHED_STREAM ^ 0x9C7);
+        // Random priority permutation via Fisher-Yates.
+        let mut rank: Vec<u64> = (0..u64::from(nproc)).collect();
+        for i in (1..rank.len()).rev() {
+            let j = rng.gen_range_u64(i as u64 + 1) as usize;
+            rank.swap(i, j);
+        }
+        let mut change_points: Vec<u64> = (1..depth.max(1))
+            .map(|_| rng.gen_range_u64(expected_ops.max(1)))
+            .collect();
+        change_points.sort_unstable_by(|a, b| b.cmp(a));
+        Self {
+            next_low: u64::from(nproc),
+            rank,
+            change_points,
+            unit,
+        }
+    }
+}
+
+impl Scheduler for PctPriority {
+    fn delay(&mut self, pid: Pid, _point: SchedPoint, op_index: u64) -> Cycles {
+        while self.change_points.last().is_some_and(|cp| *cp <= op_index) {
+            self.change_points.pop();
+            // Demote the processor issuing this boundary below everyone.
+            self.rank[pid as usize] = self.next_low;
+            self.next_low += 1;
+        }
+        self.rank[pid as usize] * self.unit
+    }
+}
+
+/// Clone-able description of a scheduler, stored in
+/// [`SimConfig`](crate::machine::SimConfig); the machine instantiates the
+/// live [`Scheduler`] from it (RNG streams derive from the config seed).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub enum SchedSpec {
+    /// Deterministic clock order (the default).
+    #[default]
+    ClockOrder,
+    /// Bounded random noise at every boundary.
+    RandomPerturb {
+        /// Maximum injected delay per boundary, in cycles.
+        max_delay: Cycles,
+    },
+    /// PCT-style priorities with change points.
+    Pct {
+        /// Number of ordered scheduling constraints to explore (`d`).
+        depth: u32,
+        /// Rough expected number of shared-operation boundaries in the
+        /// run (change points are drawn from this range).
+        expected_ops: u64,
+        /// Delay between adjacent priority ranks, in cycles.
+        unit: Cycles,
+    },
+}
+
+impl SchedSpec {
+    /// Instantiates the live scheduler for a machine with `nproc`
+    /// processors and the given seed.
+    pub fn build(&self, seed: u64, nproc: u32) -> Box<dyn Scheduler> {
+        match *self {
+            SchedSpec::ClockOrder => Box::new(ClockOrder),
+            SchedSpec::RandomPerturb { max_delay } => Box::new(RandomPerturb::new(seed, max_delay)),
+            SchedSpec::Pct {
+                depth,
+                expected_ops,
+                unit,
+            } => Box::new(PctPriority::new(seed, nproc, depth, expected_ops, unit)),
+        }
+    }
+}
+
+/// One-shot "stalled processor" fault: at a chosen boundary the victim
+/// freezes for a long (but finite) stretch of simulated time.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct StallSpec {
+    /// Processor to stall.
+    pub victim: Pid,
+    /// Global boundary index at (or after) which the stall fires.
+    pub at_op: u64,
+    /// Stall length in cycles.
+    pub cycles: Cycles,
+}
+
+/// Composable fault-injection plan, independent of the scheduler choice.
+/// The default plan injects nothing.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FaultSpec {
+    /// Probability that any given boundary opens a forced-preemption
+    /// window (the processor loses the CPU for `preempt_window` cycles).
+    pub preempt_prob: f64,
+    /// Length of a forced-preemption window, in cycles.
+    pub preempt_window: Cycles,
+    /// Maximum extra delay injected on each lock acquisition attempt
+    /// (uniform in `[0, lock_delay_max]`).
+    pub lock_delay_max: Cycles,
+    /// Optional stalled-processor fault.
+    pub stall: Option<StallSpec>,
+}
+
+impl Default for FaultSpec {
+    fn default() -> Self {
+        Self {
+            preempt_prob: 0.0,
+            preempt_window: 0,
+            lock_delay_max: 0,
+            stall: None,
+        }
+    }
+}
+
+impl FaultSpec {
+    /// True if this plan can never inject anything (the default).
+    pub fn is_inert(&self) -> bool {
+        (self.preempt_prob == 0.0 || self.preempt_window == 0)
+            && self.lock_delay_max == 0
+            && self.stall.is_none()
+    }
+}
+
+/// Live fault-injection state owned by the machine.
+#[derive(Clone, Debug)]
+pub struct FaultState {
+    spec: FaultSpec,
+    rng: Pcg32,
+    stall_fired: bool,
+}
+
+impl FaultState {
+    /// Instantiates the plan for a machine with the given seed.
+    pub fn new(spec: FaultSpec, seed: u64) -> Self {
+        Self {
+            spec,
+            rng: Pcg32::new(seed, FAULT_STREAM),
+            stall_fired: false,
+        }
+    }
+
+    /// Extra cycles of injected faults for `pid` at this boundary.
+    ///
+    /// Deterministic for a fixed spec + seed: the RNG is only consulted
+    /// for fault kinds the spec enables, so an inert plan draws nothing.
+    pub fn delay(&mut self, pid: Pid, point: SchedPoint, op_index: u64) -> Cycles {
+        let mut d = 0;
+        if self.spec.preempt_prob > 0.0
+            && self.spec.preempt_window > 0
+            && self.rng.coin(self.spec.preempt_prob)
+        {
+            d += self.spec.preempt_window;
+        }
+        if self.spec.lock_delay_max > 0 && point == SchedPoint::LockAcquire {
+            d += self.rng.gen_range_u64(self.spec.lock_delay_max + 1);
+        }
+        if let Some(stall) = self.spec.stall {
+            if !self.stall_fired && pid == stall.victim && op_index >= stall.at_op {
+                self.stall_fired = true;
+                d += stall.cycles;
+            }
+        }
+        d
+    }
+}
+
+/// RNG stream tag for scheduler noise (distinct from per-pid streams).
+const SCHED_STREAM: u64 = 0x5C4E_D001;
+/// RNG stream tag for fault injection.
+const FAULT_STREAM: u64 = 0xFA17_0001;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_order_is_silent() {
+        let mut s = ClockOrder;
+        for i in 0..100 {
+            assert_eq!(s.delay(i % 4, SchedPoint::Access, u64::from(i)), 0);
+        }
+    }
+
+    #[test]
+    fn random_perturb_is_bounded_and_seeded() {
+        let mut a = RandomPerturb::new(7, 50);
+        let mut b = RandomPerturb::new(7, 50);
+        let mut c = RandomPerturb::new(8, 50);
+        let xs: Vec<Cycles> = (0..200)
+            .map(|i| a.delay(0, SchedPoint::Access, i))
+            .collect();
+        let ys: Vec<Cycles> = (0..200)
+            .map(|i| b.delay(0, SchedPoint::Access, i))
+            .collect();
+        let zs: Vec<Cycles> = (0..200)
+            .map(|i| c.delay(0, SchedPoint::Access, i))
+            .collect();
+        assert_eq!(xs, ys, "same seed, same delays");
+        assert_ne!(xs, zs, "different seed, different delays");
+        assert!(xs.iter().all(|d| *d <= 50));
+        assert!(xs.iter().any(|d| *d > 0));
+    }
+
+    #[test]
+    fn pct_ranks_are_a_permutation_and_change_points_demote() {
+        let mut s = PctPriority::new(3, 4, 3, 1000, 10);
+        let mut delays: Vec<Cycles> = (0..4).map(|p| s.delay(p, SchedPoint::Access, 0)).collect();
+        delays.sort_unstable();
+        assert_eq!(delays, vec![0, 10, 20, 30], "ranks 0..n, unit 10");
+        // Exhaust all change points: whoever issues at the end is demoted
+        // below the original ranks.
+        let d_late = s.delay(2, SchedPoint::Access, 999);
+        assert!(s.change_points.is_empty());
+        assert!(d_late >= 40 || s.rank[2] >= 4 || d_late == s.rank[2] * 10);
+        let after: Vec<u64> = s.rank.clone();
+        assert!(
+            after.iter().any(|r| *r >= 4),
+            "someone was demoted: {after:?}"
+        );
+    }
+
+    #[test]
+    fn pct_depth_one_has_no_change_points() {
+        let s = PctPriority::new(3, 4, 1, 1000, 10);
+        assert!(s.change_points.is_empty());
+    }
+
+    #[test]
+    fn inert_fault_plan_injects_nothing() {
+        let mut f = FaultState::new(FaultSpec::default(), 1);
+        assert!(f.spec.is_inert());
+        for i in 0..100 {
+            assert_eq!(f.delay(0, SchedPoint::LockAcquire, i), 0);
+        }
+    }
+
+    #[test]
+    fn stall_fires_exactly_once_on_victim() {
+        let spec = FaultSpec {
+            stall: Some(StallSpec {
+                victim: 2,
+                at_op: 10,
+                cycles: 1_000_000,
+            }),
+            ..FaultSpec::default()
+        };
+        let mut f = FaultState::new(spec, 1);
+        assert_eq!(f.delay(2, SchedPoint::Access, 9), 0, "not yet");
+        assert_eq!(f.delay(1, SchedPoint::Access, 10), 0, "wrong pid");
+        assert_eq!(f.delay(2, SchedPoint::Access, 11), 1_000_000, "fires");
+        assert_eq!(f.delay(2, SchedPoint::Access, 12), 0, "one-shot");
+    }
+
+    #[test]
+    fn lock_delay_only_on_acquire_points() {
+        let spec = FaultSpec {
+            lock_delay_max: 100,
+            ..FaultSpec::default()
+        };
+        let mut f = FaultState::new(spec, 42);
+        let access: Cycles = (0..50).map(|i| f.delay(0, SchedPoint::Access, i)).sum();
+        assert_eq!(access, 0);
+        let acquire: Cycles = (0..50)
+            .map(|i| f.delay(0, SchedPoint::LockAcquire, 50 + i))
+            .sum();
+        assert!(acquire > 0);
+    }
+
+    #[test]
+    fn specs_build_without_panicking() {
+        for spec in [
+            SchedSpec::ClockOrder,
+            SchedSpec::RandomPerturb { max_delay: 40 },
+            SchedSpec::Pct {
+                depth: 3,
+                expected_ops: 500,
+                unit: 25,
+            },
+        ] {
+            let mut s = spec.build(9, 8);
+            let _ = s.delay(0, SchedPoint::Access, 0);
+        }
+    }
+}

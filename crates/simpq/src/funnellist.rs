@@ -22,6 +22,8 @@
 
 use pqsim::{Addr, LockId, Proc, Sim, Word, NULL};
 
+use crate::tap::HistoryTap;
+
 const ST_LOCKED: Word = 0;
 const ST_ACTIVE: Word = 1;
 const ST_CAPTURED: Word = 2;
@@ -55,6 +57,9 @@ pub struct SimFunnelList {
     list_lock: LockId,
     /// Collision-window spin length, in backoff rounds.
     spin_rounds: u32,
+    /// Optional history sink; operations are stamped at their boundaries
+    /// (`p.now()` on entry and exit). See [`crate::tap`].
+    tap: Option<HistoryTap>,
 }
 
 impl SimFunnelList {
@@ -85,17 +90,35 @@ impl SimFunnelList {
             list_head,
             list_lock,
             spin_rounds: 6,
+            tap: None,
         }
+    }
+
+    /// Attaches a history tap; every subsequent insert / delete-min is
+    /// recorded into it. Recorded workloads must use unique values that
+    /// sort like their keys (see [`crate::tap`]).
+    pub fn with_tap(mut self, tap: HistoryTap) -> Self {
+        self.tap = Some(tap);
+        self
     }
 
     /// Inserts `(key, value)` through the funnel.
     pub async fn insert(&self, p: &Proc, key: u64, value: u64) {
+        let op_start = p.now();
         self.run_op(p, OP_INSERT, key, value).await;
+        if let Some(tap) = &self.tap {
+            tap.record_insert(value, op_start, p.now());
+        }
     }
 
     /// Deletes the minimum through the funnel; `None` when empty.
     pub async fn delete_min(&self, p: &Proc) -> Option<(u64, u64)> {
-        self.run_op(p, OP_DELETE, 0, 0).await
+        let op_start = p.now();
+        let r = self.run_op(p, OP_DELETE, 0, 0).await;
+        if let Some(tap) = &self.tap {
+            tap.record_delete(r.map(|(_, v)| v), op_start, p.now());
+        }
+        r
     }
 
     async fn run_op(&self, p: &Proc, op: Word, key: u64, value: u64) -> Option<(u64, u64)> {
@@ -306,6 +329,7 @@ impl Clone for SimFunnelList {
             list_head: self.list_head,
             list_lock: self.list_lock,
             spin_rounds: self.spin_rounds,
+            tap: self.tap.clone(),
         }
     }
 }

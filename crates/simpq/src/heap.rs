@@ -15,6 +15,8 @@ use pqsim::{Addr, LockId, Machine, Pcg32, Proc, Sim, Word};
 
 use huntheap::bit_reversed_position;
 
+use crate::tap::HistoryTap;
+
 const TAG: u32 = 0;
 const KEY: u32 = 1;
 const VALUE: u32 = 2;
@@ -41,6 +43,9 @@ pub struct SimHuntHeap {
     /// Highest addressable slot: bit-reversed positions for a count range
     /// over the count's whole heap level, past `capacity` itself.
     max_pos: usize,
+    /// Optional history sink; operations are stamped at their boundaries
+    /// (`p.now()` on entry and exit). See [`crate::tap`].
+    tap: Option<HistoryTap>,
 }
 
 impl SimHuntHeap {
@@ -75,7 +80,16 @@ impl SimHuntHeap {
             slot_locks,
             capacity,
             max_pos,
+            tap: None,
         }
+    }
+
+    /// Attaches a history tap; every subsequent insert / delete-min is
+    /// recorded into it. Recorded workloads must use unique values that
+    /// sort like their keys (see [`crate::tap`]).
+    pub fn with_tap(mut self, tap: HistoryTap) -> Self {
+        self.tap = Some(tap);
+        self
     }
 
     /// Maximum number of items.
@@ -90,6 +104,14 @@ impl SimHuntHeap {
 
     /// Inserts `(key, value)` — the published bottom-up walk with tags.
     pub async fn insert(&self, p: &Proc, key: u64, value: u64) {
+        let op_start = p.now();
+        self.insert_op(p, key, value).await;
+        if let Some(tap) = &self.tap {
+            tap.record_insert(value, op_start, p.now());
+        }
+    }
+
+    async fn insert_op(&self, p: &Proc, key: u64, value: u64) {
         let me = busy(p.pid());
 
         // Claim the bit-reversed target under the size lock; hold the slot
@@ -160,6 +182,15 @@ impl SimHuntHeap {
 
     /// Removes and returns the minimum, or `None` when empty.
     pub async fn delete_min(&self, p: &Proc) -> Option<(u64, u64)> {
+        let op_start = p.now();
+        let r = self.delete_min_op(p).await;
+        if let Some(tap) = &self.tap {
+            tap.record_delete(r.map(|(_, v)| v), op_start, p.now());
+        }
+        r
+    }
+
+    async fn delete_min_op(&self, p: &Proc) -> Option<(u64, u64)> {
         // Claim the last occupied slot under the size lock.
         p.acquire(self.heap_lock).await;
         let bound = p.read(self.size_addr).await as usize;
@@ -319,6 +350,7 @@ impl Clone for SimHuntHeap {
             slot_locks: self.slot_locks.clone(),
             capacity: self.capacity,
             max_pos: self.max_pos,
+            tap: self.tap.clone(),
         }
     }
 }

@@ -43,12 +43,14 @@ pub mod funnel_skip;
 pub mod funnellist;
 pub mod heap;
 pub mod skipqueue;
+pub mod tap;
 pub mod workload;
 
 pub use funnel_skip::FunnelSkipQueue;
 pub use funnellist::SimFunnelList;
 pub use heap::SimHuntHeap;
 pub use skipqueue::SimSkipQueue;
+pub use tap::HistoryTap;
 pub use workload::{
     run_hold_model, run_workload, HoldConfig, HoldResult, QueueKind, WorkloadConfig, WorkloadResult,
 };

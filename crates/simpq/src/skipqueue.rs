@@ -22,6 +22,8 @@ use std::rc::Rc;
 
 use pqsim::{Addr, Cycles, LockId, Machine, Pcg32, Proc, Sim, Word, NULL};
 
+use crate::tap::HistoryTap;
+
 /// Reserved key of the head sentinel.
 pub const KEY_NEG_INF: u64 = 0;
 /// Reserved key of the tail sentinel.
@@ -87,6 +89,11 @@ pub struct SimSkipQueue {
     /// (registry + stamped garbage lists) is what we model.
     garbage: Rc<RefCell<Vec<(Addr, u32, Cycles)>>>,
     stats: Rc<RefCell<SkipQueueStats>>,
+    /// Optional history sink. Strict mode stamps at serialization points
+    /// (insert: the `timeStamp` clock value; delete: the initial
+    /// `getTime()` read); relaxed mode stamps at operation boundaries.
+    /// See [`crate::tap`].
+    tap: Option<HistoryTap>,
 }
 
 impl SimSkipQueue {
@@ -127,7 +134,16 @@ impl SimSkipQueue {
             nproc,
             garbage: Rc::new(RefCell::new(Vec::new())),
             stats: Rc::new(RefCell::new(SkipQueueStats::default())),
+            tap: None,
         }
+    }
+
+    /// Attaches a history tap; every subsequent insert / delete-min is
+    /// recorded into it. Recorded workloads must use unique values that
+    /// sort like their keys (see [`crate::tap`]).
+    pub fn with_tap(mut self, tap: HistoryTap) -> Self {
+        self.tap = Some(tap);
+        self
     }
 
     /// Head sentinel address (tests/diagnostics).
@@ -271,6 +287,7 @@ impl SimSkipQueue {
     /// the sentinels. Updates the value in place if the key already exists.
     pub async fn insert(&self, p: &Proc, key: u64, value: u64) -> InsertOutcome {
         assert!(key > KEY_NEG_INF && key < KEY_POS_INF, "key out of range");
+        let op_start = p.now();
         self.register_entry(p).await;
         let saved = self.search(p, key).await;
 
@@ -280,6 +297,13 @@ impl SimSkipQueue {
         let node2 = p.read(next_addr(node1, 0)).await as Addr;
         let k2 = p.read(node2 + KEY).await;
         if k2 == key {
+            // Update-in-place silently retires the old value, which has no
+            // Definition-1 vocabulary; recorded workloads must use unique
+            // keys so this path stays untaken.
+            assert!(
+                self.tap.is_none(),
+                "history taps require unique keys (update-in-place hit for key {key})"
+            );
             p.write(node2 + VALUE, value).await;
             p.release(self.level_lock(p, node1, 0)).await;
             self.register_exit(p).await;
@@ -314,12 +338,21 @@ impl SimSkipQueue {
             // Relaxed variant (§5.4): no stamping; mark as visible.
             p.write(node + TIMESTAMP, 0).await;
         }
+        if let Some(tap) = &self.tap {
+            // The insert counts as responded once the stamp write has
+            // *landed*: only then is the node guaranteed visible to every
+            // later delete-min scan (the stamp's clock value is read a
+            // little earlier, but a scan racing the write still sees
+            // MAX_TIME and legally skips the node).
+            tap.record_insert(value, op_start, p.now());
+        }
         self.register_exit(p).await;
         InsertOutcome::Inserted
     }
 
     /// Deletes and returns the minimum (Figure 11), or `None` for EMPTY.
     pub async fn delete_min(&self, p: &Proc) -> Option<(u64, u64)> {
+        let op_start = p.now();
         self.register_entry(p).await;
         // Line 1: note the time the search starts (strict mode only).
         let time = if self.strict {
@@ -327,6 +360,14 @@ impl SimSkipQueue {
         } else {
             MAX_TIME
         };
+        // The strict delete serializes its candidate set at the clock
+        // read: only nodes stamped before `time` are considered.  The
+        // relaxed delete is instead stamped at its claim SWAP below —
+        // the first instant it commits to a node — so that an audit hit
+        // of `insert responded > delete invoked` proves the claimed node
+        // was still mid-insert (its stamp write had not landed), which
+        // the strict eligibility check makes impossible.
+        let mut invoked = if self.strict { time } else { op_start };
 
         // Lines 2–10: walk the bottom level, SWAP-claiming the first
         // unmarked node that was inserted before we began.
@@ -334,6 +375,9 @@ impl SimSkipQueue {
         let victim = loop {
             if node1 == self.tail {
                 self.register_exit(p).await;
+                if let Some(tap) = &self.tap {
+                    tap.record_delete(None, invoked, p.now());
+                }
                 return None; // EMPTY
             }
             let eligible = if self.strict {
@@ -344,6 +388,9 @@ impl SimSkipQueue {
             if eligible {
                 let marked = p.swap(node1 + DELETED, 1).await;
                 if marked == 0 {
+                    if !self.strict {
+                        invoked = p.now();
+                    }
                     break node1;
                 }
             }
@@ -393,6 +440,9 @@ impl SimSkipQueue {
             .push((node2, node_words(height), p.now()));
         self.stats.borrow_mut().retired += 1;
         self.register_exit(p).await;
+        if let Some(tap) = &self.tap {
+            tap.record_delete(Some(value), invoked, p.now());
+        }
         Some((key, value))
     }
 
@@ -562,6 +612,7 @@ impl Clone for SimSkipQueue {
             nproc: self.nproc,
             garbage: Rc::clone(&self.garbage),
             stats: Rc::clone(&self.stats),
+            tap: self.tap.clone(),
         }
     }
 }

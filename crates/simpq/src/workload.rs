@@ -14,7 +14,10 @@
 use std::cell::RefCell;
 use std::rc::Rc;
 
-use pqsim::{CostModel, Cycles, LatencyRecorder, LatencySummary, Pcg32, Proc, Sim, SimConfig};
+use pqsim::{
+    CostModel, Cycles, FaultSpec, LatencyRecorder, LatencySummary, Pcg32, Proc, SchedSpec, Sim,
+    SimConfig,
+};
 
 use crate::funnel_skip::FunnelSkipQueue;
 use crate::funnellist::SimFunnelList;
@@ -82,6 +85,11 @@ pub struct WorkloadConfig {
     /// Override the skiplist height cap (default: ~log2 of the expected
     /// maximum size — the paper's "simple method"). Ablations only.
     pub skip_max_level: Option<usize>,
+    /// Schedule perturbation (default: deterministic clock order, which
+    /// reproduces the paper's figures byte-for-byte).
+    pub sched: SchedSpec,
+    /// Fault-injection plan (default: inert).
+    pub faults: FaultSpec,
 }
 
 impl Default for WorkloadConfig {
@@ -98,6 +106,8 @@ impl Default for WorkloadConfig {
             cost: CostModel::default(),
             gc_collector: true,
             skip_max_level: None,
+            sched: SchedSpec::ClockOrder,
+            faults: FaultSpec::default(),
         }
     }
 }
@@ -205,6 +215,8 @@ pub fn run_workload(cfg: &WorkloadConfig) -> WorkloadResult {
         cost: cfg.cost.clone(),
         seed: cfg.seed,
         initial_words: 1 << 16,
+        sched: cfg.sched.clone(),
+        faults: cfg.faults.clone(),
     };
     let mut sim = Sim::new(sim_cfg);
     let mut prng = Pcg32::new(cfg.seed ^ 0xF00D, 0x9E37);
@@ -369,6 +381,8 @@ pub fn run_hold_model(cfg: &HoldConfig) -> HoldResult {
         cost: cfg.cost.clone(),
         seed: cfg.seed,
         initial_words: 1 << 16,
+        sched: SchedSpec::ClockOrder,
+        faults: FaultSpec::default(),
     };
     let mut sim = Sim::new(sim_cfg);
     let mut prng = Pcg32::new(cfg.seed ^ 0x1D1E, 0x401D);

@@ -1,0 +1,225 @@
+//! Offline shim for `parking_lot`.
+//!
+//! Provides the subset the workspace uses: a non-poisoning [`Mutex`] /
+//! [`MutexGuard`] pair backed by `std::sync::Mutex`, a statically
+//! initializable [`RawMutex`] spin-then-yield lock, and the
+//! [`lock_api::RawMutex`] trait it implements.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Re-creation of the `lock_api` facade: the raw-lock trait `parking_lot`
+/// re-exports.
+pub mod lock_api {
+    /// A raw (unowned, manually released) mutual-exclusion primitive.
+    ///
+    /// # Safety
+    ///
+    /// Implementations must provide mutual exclusion between `lock` /
+    /// `try_lock` success and the matching `unlock`.
+    pub unsafe trait RawMutex {
+        /// An unlocked instance, usable in static/const initializers.
+        const INIT: Self;
+
+        /// Blocks until the lock is held by the caller.
+        fn lock(&self);
+
+        /// Attempts to take the lock without blocking.
+        fn try_lock(&self) -> bool;
+
+        /// Releases the lock.
+        ///
+        /// # Safety
+        ///
+        /// Must only be called by the context that currently holds the lock.
+        unsafe fn unlock(&self);
+    }
+}
+
+/// A word-sized test-and-set lock with bounded spinning, usable where
+/// `parking_lot::RawMutex` is: per-node locks embedded in larger structs.
+pub struct RawMutex {
+    locked: AtomicBool,
+}
+
+impl RawMutex {
+    const SPIN_LIMIT: u32 = 64;
+}
+
+unsafe impl lock_api::RawMutex for RawMutex {
+    #[allow(clippy::declare_interior_mutable_const)]
+    const INIT: RawMutex = RawMutex {
+        locked: AtomicBool::new(false),
+    };
+
+    fn lock(&self) {
+        let mut spins = 0u32;
+        loop {
+            if self.try_lock() {
+                return;
+            }
+            while self.locked.load(Ordering::Relaxed) {
+                spins += 1;
+                if spins < Self::SPIN_LIMIT {
+                    std::hint::spin_loop();
+                } else {
+                    spins = 0;
+                    std::thread::yield_now();
+                }
+            }
+        }
+    }
+
+    fn try_lock(&self) -> bool {
+        self.locked
+            .compare_exchange(false, true, Ordering::Acquire, Ordering::Relaxed)
+            .is_ok()
+    }
+
+    unsafe fn unlock(&self) {
+        self.locked.store(false, Ordering::Release);
+    }
+}
+
+impl std::fmt::Debug for RawMutex {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RawMutex")
+            .field("locked", &self.locked.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+/// A mutex that hands out guards without poisoning, like `parking_lot`'s.
+#[derive(Default)]
+pub struct Mutex<T: ?Sized> {
+    inner: std::sync::Mutex<T>,
+}
+
+impl<T> Mutex<T> {
+    /// Creates an unlocked mutex holding `value`.
+    pub const fn new(value: T) -> Self {
+        Self {
+            inner: std::sync::Mutex::new(value),
+        }
+    }
+
+    /// Consumes the mutex, returning the protected value.
+    pub fn into_inner(self) -> T {
+        match self.inner.into_inner() {
+            Ok(v) => v,
+            Err(p) => p.into_inner(),
+        }
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Acquires the mutex, blocking until it is available. A panic while a
+    /// guard is live does not poison the lock.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        MutexGuard {
+            inner: match self.inner.lock() {
+                Ok(g) => g,
+                Err(p) => p.into_inner(),
+            },
+        }
+    }
+
+    /// Attempts to acquire the mutex without blocking.
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        match self.inner.try_lock() {
+            Ok(g) => Some(MutexGuard { inner: g }),
+            Err(std::sync::TryLockError::Poisoned(p)) => Some(MutexGuard {
+                inner: p.into_inner(),
+            }),
+            Err(std::sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
+    /// Mutable access without locking (requires exclusive ownership).
+    pub fn get_mut(&mut self) -> &mut T {
+        match self.inner.get_mut() {
+            Ok(v) => v,
+            Err(p) => p.into_inner(),
+        }
+    }
+}
+
+impl<T: ?Sized + std::fmt::Debug> std::fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.try_lock() {
+            Some(g) => f.debug_struct("Mutex").field("data", &&*g).finish(),
+            None => f.write_str("Mutex { <locked> }"),
+        }
+    }
+}
+
+/// RAII guard for [`Mutex`]; releases the lock on drop.
+pub struct MutexGuard<'a, T: ?Sized> {
+    inner: std::sync::MutexGuard<'a, T>,
+}
+
+impl<T: ?Sized> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T: ?Sized> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+}
+
+impl<T: ?Sized + std::fmt::Debug> std::fmt::Debug for MutexGuard<'_, T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        (**self).fmt(f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::lock_api::RawMutex as _;
+    use super::*;
+
+    #[test]
+    fn mutex_excludes() {
+        let m = std::sync::Arc::new(Mutex::new(0u64));
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let m = std::sync::Arc::clone(&m);
+                s.spawn(move || {
+                    for _ in 0..10_000 {
+                        *m.lock() += 1;
+                    }
+                });
+            }
+        });
+        assert_eq!(*m.lock(), 40_000);
+    }
+
+    #[test]
+    fn raw_mutex_excludes() {
+        struct Counter(std::cell::UnsafeCell<u64>);
+        unsafe impl Sync for Counter {}
+
+        static LOCK: RawMutex = RawMutex::INIT;
+        static COUNT: Counter = Counter(std::cell::UnsafeCell::new(0));
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..10_000 {
+                        LOCK.lock();
+                        unsafe { *COUNT.0.get() += 1 };
+                        unsafe { LOCK.unlock() };
+                    }
+                });
+            }
+        });
+        LOCK.lock();
+        assert_eq!(unsafe { *COUNT.0.get() }, 40_000);
+        unsafe { LOCK.unlock() };
+        assert!(LOCK.try_lock());
+        unsafe { LOCK.unlock() };
+    }
+}

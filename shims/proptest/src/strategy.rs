@@ -1,0 +1,307 @@
+//! Value-generation strategies for the proptest shim.
+//!
+//! A [`Strategy`] deterministically maps draws from a [`TestRng`] to
+//! values. Unlike real proptest there is no value tree: strategies
+//! generate directly and never shrink.
+
+use std::rc::Rc;
+
+use crate::TestRng;
+
+/// A recipe for generating values of one type.
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Derives a strategy applying `f` to every generated value.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Type-erases this strategy (used by `prop_oneof!`).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy {
+            inner: Rc::new(self),
+        }
+    }
+}
+
+/// A type-erased, cheaply clonable strategy.
+pub struct BoxedStrategy<V> {
+    inner: Rc<dyn Strategy<Value = V>>,
+}
+
+impl<V> Clone for BoxedStrategy<V> {
+    fn clone(&self) -> Self {
+        Self {
+            inner: Rc::clone(&self.inner),
+        }
+    }
+}
+
+impl<V> Strategy for BoxedStrategy<V> {
+    type Value = V;
+
+    fn generate(&self, rng: &mut TestRng) -> V {
+        self.inner.generate(rng)
+    }
+}
+
+impl<V> std::fmt::Debug for BoxedStrategy<V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("BoxedStrategy")
+    }
+}
+
+/// Types with a canonical full-domain strategy, entry point [`any`].
+pub trait Arbitrary: Sized {
+    /// The strategy [`any`] returns for this type.
+    type Strategy: Strategy<Value = Self>;
+
+    /// The full-domain strategy.
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// The canonical strategy for `T`: uniform over the whole domain.
+pub fn any<T: Arbitrary>() -> T::Strategy {
+    T::arbitrary()
+}
+
+/// Uniform full-domain strategy behind [`any`], one per primitive.
+#[derive(Clone, Copy, Debug)]
+pub struct AnyPrimitive<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+macro_rules! arbitrary_uint {
+    ($($ty:ty),+) => {$(
+        impl Strategy for AnyPrimitive<$ty> {
+            type Value = $ty;
+
+            fn generate(&self, rng: &mut TestRng) -> $ty {
+                rng.next_u64() as $ty
+            }
+        }
+
+        impl Arbitrary for $ty {
+            type Strategy = AnyPrimitive<$ty>;
+
+            fn arbitrary() -> Self::Strategy {
+                AnyPrimitive { _marker: std::marker::PhantomData }
+            }
+        }
+    )+};
+}
+
+arbitrary_uint!(u8, u16, u32, u64, usize);
+
+impl Strategy for AnyPrimitive<bool> {
+    type Value = bool;
+
+    fn generate(&self, rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for bool {
+    type Strategy = AnyPrimitive<bool>;
+
+    fn arbitrary() -> Self::Strategy {
+        AnyPrimitive {
+            _marker: std::marker::PhantomData,
+        }
+    }
+}
+
+macro_rules! range_strategy {
+    ($($ty:ty),+) => {$(
+        impl Strategy for std::ops::Range<$ty> {
+            type Value = $ty;
+
+            fn generate(&self, rng: &mut TestRng) -> $ty {
+                assert!(self.end > self.start, "empty range strategy");
+                let span = (self.end - self.start) as u64;
+                self.start + rng.below(span) as $ty
+            }
+        }
+
+        impl Strategy for std::ops::RangeInclusive<$ty> {
+            type Value = $ty;
+
+            fn generate(&self, rng: &mut TestRng) -> $ty {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(hi >= lo, "empty range strategy");
+                let span = (hi - lo) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $ty;
+                }
+                lo + rng.below(span + 1) as $ty
+            }
+        }
+    )+};
+}
+
+range_strategy!(u8, u16, u32, u64, usize);
+
+/// Strategy always yielding a clone of one value.
+#[derive(Clone, Copy, Debug)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Strategy derived via [`Strategy::prop_map`].
+#[derive(Clone, Copy, Debug)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, U, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> U,
+{
+    type Value = U;
+
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Weighted choice between type-erased strategies, built by `prop_oneof!`.
+#[derive(Clone, Debug)]
+pub struct Union<V> {
+    arms: Vec<(u32, BoxedStrategy<V>)>,
+    total_weight: u64,
+}
+
+impl<V> Union<V> {
+    /// A union over `arms`; each weight must be positive.
+    pub fn new(arms: Vec<(u32, BoxedStrategy<V>)>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        let total_weight = arms.iter().map(|(w, _)| u64::from(*w)).sum();
+        assert!(total_weight > 0, "prop_oneof! weights sum to zero");
+        Self { arms, total_weight }
+    }
+}
+
+impl<V> Strategy for Union<V> {
+    type Value = V;
+
+    fn generate(&self, rng: &mut TestRng) -> V {
+        let mut pick = rng.below(self.total_weight);
+        for (weight, strat) in &self.arms {
+            if pick < u64::from(*weight) {
+                return strat.generate(rng);
+            }
+            pick -= u64::from(*weight);
+        }
+        unreachable!("pick exceeded total weight")
+    }
+}
+
+/// Minimal string-regex strategy: supports exactly the shape
+/// `[<lo>-<hi>]{<min>,<max>}` (one ASCII character-class range with a
+/// bounded repetition), which is the only pattern the workspace uses.
+/// Anything else panics with a clear message.
+impl Strategy for &str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let parse = || -> Option<(u8, u8, u64, u64)> {
+            let b = self.as_bytes();
+            let close = self.find(']')?;
+            if b.first() != Some(&b'[') || b.get(2) != Some(&b'-') || close != 4 {
+                return None;
+            }
+            let (lo, hi) = (b[1], b[3]);
+            let rep = self.get(close + 1..)?;
+            let rep = rep.strip_prefix('{')?.strip_suffix('}')?;
+            let (min, max) = rep.split_once(',')?;
+            Some((lo, hi, min.parse().ok()?, max.parse().ok()?))
+        };
+        let (lo, hi, min, max) = parse().unwrap_or_else(|| {
+            panic!(
+                "proptest shim: unsupported string pattern {self:?} \
+                 (only `[x-y]{{m,n}}` is implemented)"
+            )
+        });
+        assert!(lo <= hi && min <= max, "degenerate pattern {self:?}");
+        let len = min + rng.below(max - min + 1);
+        (0..len)
+            .map(|_| (lo + rng.below(u64::from(hi - lo) + 1) as u8) as char)
+            .collect()
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($(($($name:ident : $idx:tt),+))+) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )+};
+}
+
+tuple_strategy! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+    (A: 0, B: 1, C: 2, D: 3, E: 4)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_domain_inclusive_range_does_not_overflow() {
+        let mut rng = TestRng::new(7);
+        for _ in 0..64 {
+            let v = (1u64..u64::MAX).generate(&mut rng);
+            assert!((1..u64::MAX).contains(&v));
+            let _ = (0u64..=u64::MAX).generate(&mut rng);
+        }
+    }
+
+    #[test]
+    fn string_pattern_generates_within_class_and_length() {
+        let mut rng = TestRng::new(3);
+        for _ in 0..64 {
+            let s = "[a-z]{1,8}".generate(&mut rng);
+            assert!((1..=8).contains(&s.len()), "{s:?}");
+            assert!(s.bytes().all(|b| b.is_ascii_lowercase()), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn union_respects_zero_pick_boundaries() {
+        let u = Union::new(vec![(1, Just(1u32).boxed()), (3, Just(2u32).boxed())]);
+        let mut rng = TestRng::new(11);
+        let mut seen = [false; 3];
+        for _ in 0..64 {
+            seen[u.generate(&mut rng) as usize] = true;
+        }
+        assert!(seen[1] && seen[2]);
+    }
+}

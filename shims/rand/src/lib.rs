@@ -1,0 +1,5 @@
+//! Offline placeholder for `rand`.
+//!
+//! The workspace declares `rand` in a few manifests but every crate uses
+//! the deterministic generators in `pqsim::rng` instead. This empty shim
+//! satisfies the dependency graph without network access.

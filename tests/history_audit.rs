@@ -108,8 +108,15 @@ fn single_threaded_histories_always_strict() {
 
 #[test]
 fn small_concurrent_histories_are_exactly_linearizable() {
-    // For histories small enough, decide Definition 1 *exactly* (subset DP
-    // over delete serializations) rather than via necessary conditions.
+    // For histories small enough, decide linearizability *exactly* (subset
+    // DP over delete serializations) rather than via necessary conditions.
+    //
+    // Linearizability — not Definition 1 — is the right ground truth here:
+    // these histories are recorded at operation boundaries, and a strict
+    // delete can legally return a value whose insert has stamped its
+    // timestamp but not yet returned to the caller. The Definition-1 exact
+    // check belongs to histories stamped at serialization points (see the
+    // simulator taps in `simpq`).
     use histcheck::ExactOutcome;
     for round in 0..20 {
         let q = SkipQueue::new();
@@ -150,7 +157,7 @@ fn small_concurrent_histories_are_exactly_linearizable() {
             .count();
         assert!(deletes <= histcheck::MAX_EXACT_DELETES);
         assert_eq!(
-            h.check_strict_exact(),
+            h.check_linearizable_exact(),
             ExactOutcome::Linearizable,
             "round {round}: strict SkipQueue history not linearizable"
         );
