@@ -1,0 +1,68 @@
+//! Ablation: batched physical deletion in the simulated SkipQueue.
+//!
+//! Mirrors the native queue's deferred-unlink optimization
+//! (`SkipQueue::with_unlink_batch`) inside the simulator and sweeps
+//! processor count × {eager, batched} on the Figure-5 delete-heavy shape
+//! (30% inserts), the regime the optimization targets: under eager
+//! deletion every delete-min pays a top-down tower unlink at the list
+//! front, while batching amortizes one prefix sweep over many claims and
+//! skips the deleted prefix via the front hint.
+//!
+//! The eager arm is the byte-identical default path (no extra RNG draws,
+//! same address layout), so its rows double as a regression anchor for
+//! the paper figures.
+//!
+//! Expected shape (and the reason this ablation exists): the simulated
+//! machine charges **every** shared-memory access a fixed cost — there is
+//! no cache — so each delete-min's walk over the still-linked marked
+//! prefix is billed at full price, and past the cleaner's serial
+//! throughput the prefix (hence the walk) grows with the claim rate.
+//! Batching therefore wins only at low processor counts here and *loses*
+//! as contention grows — the inverse of the native measurement
+//! (`BENCH_native.json`), where the prefix walk is a handful of L1 hits
+//! and the avoided per-delete tower unlink dominates. The pair of results
+//! brackets the optimization: it trades locked pointer surgery for extra
+//! traversal, profitable exactly when traversal is cheap relative to
+//! synchronization.
+
+use pq_bench::{finish_figure, measure, Options};
+use simpq::{QueueKind, WorkloadConfig};
+
+/// Unlink-batch threshold for the batched arm. Small relative to the
+/// native default (128): simulated runs are orders of magnitude shorter,
+/// the cleaner has to fire many times per run to be measured, and every
+/// deferred node lengthens the charged-per-word claim walk.
+const BATCH_THRESHOLD: usize = 8;
+
+fn main() {
+    let opts = Options::from_args();
+    let kind = QueueKind::SkipQueue { strict: true };
+    let mut rows = Vec::new();
+    for (label, threshold) in [
+        ("SkipQueue eager", None),
+        ("SkipQueue batched", Some(BATCH_THRESHOLD)),
+    ] {
+        for &nproc in &opts.procs() {
+            let cfg = WorkloadConfig {
+                queue: kind,
+                nproc,
+                initial_size: 9_000,
+                total_ops: opts.ops(20_000, nproc),
+                insert_ratio: 0.3,
+                work_cycles: 100,
+                seed: opts.seed,
+                skip_batched_unlink: threshold,
+                ..WorkloadConfig::default()
+            };
+            let mut row = measure(kind, nproc, u64::from(nproc), &cfg);
+            row.kind = label;
+            rows.push(row);
+        }
+    }
+    finish_figure(
+        &opts,
+        "Ablation: batched physical deletion (9000 initial, 20000 ops, 30% inserts)",
+        "procs",
+        &rows,
+    );
+}

@@ -18,7 +18,12 @@ use std::sync::atomic::{AtomicU64, Ordering};
 /// let b = clock.tick();
 /// assert!(b > a, "stamps are unique and ordered");
 /// ```
+/// The type is aligned (and therefore padded) to 128 bytes so that the
+/// counter — bumped by every strict operation — never shares a cache line
+/// with neighbouring fields of whatever struct embeds it (two lines on
+/// CPUs that prefetch line pairs).
 #[derive(Debug, Default)]
+#[repr(align(128))]
 pub struct TimestampClock {
     counter: AtomicU64,
 }

@@ -187,11 +187,29 @@ impl<K, V> Collector<K, V> {
     /// (traversals holding older references are exactly what the quiescence
     /// rule waits out).
     pub(crate) unsafe fn retire(&self, guard: &Guard<'_, K, V>, ptr: *mut Node<K, V>) {
+        // SAFETY: forwarded contract.
+        unsafe { self.retire_batch(guard, std::iter::once(ptr)) }
+    }
+
+    /// Retires a whole group of unlinked nodes as one unit: a single
+    /// deletion stamp covers the group and the slot's garbage lock is taken
+    /// once, so a batched physical delete amortizes the retirement
+    /// bookkeeping the same way it amortizes the unlinking itself. The
+    /// group becomes reclaimable atomically — once every thread that was
+    /// inside the structure at this moment has exited.
+    ///
+    /// # Safety
+    ///
+    /// Every pointer must satisfy the [`Collector::retire`] contract.
+    pub(crate) unsafe fn retire_batch<I>(&self, guard: &Guard<'_, K, V>, ptrs: I)
+    where
+        I: IntoIterator<Item = *mut Node<K, V>>,
+    {
         let ts = self.clock.tick();
         let slot = &self.slots[guard.slot_idx];
         let run_collect = {
             let mut g = slot.garbage.lock();
-            g.push(Retired { ptr, ts });
+            g.extend(ptrs.into_iter().map(|ptr| Retired { ptr, ts }));
             g.len() >= COLLECT_THRESHOLD
         };
         if run_collect {

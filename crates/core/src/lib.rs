@@ -58,6 +58,12 @@
 //! * `getTime()` is a shared hardware clock on Alewife; here it is a global
 //!   atomic counter whose `fetch_add` gives unique, totally ordered stamps,
 //!   which is exactly the property Lemma 1 needs.
+//! * Opt-in **batched physical deletion** ([`SkipQueue::with_unlink_batch`]):
+//!   `delete_min` winners leave the marked node linked and a single thread
+//!   periodically unlinks the whole claimed prefix in one sweep, with a
+//!   scan-start hint so later deletes skip the dead prefix. Claim order and
+//!   time-stamp placement are unchanged, so strict semantics are identical;
+//!   the default remains the paper's eager per-delete unlink.
 
 #![deny(unsafe_op_in_unsafe_fn)]
 #![warn(missing_docs)]
@@ -71,4 +77,4 @@ pub mod seq;
 
 pub use clock::TimestampClock;
 pub use pq::PriorityQueue;
-pub use queue::SkipQueue;
+pub use queue::{SkipQueue, DEFAULT_UNLINK_BATCH};

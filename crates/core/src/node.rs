@@ -97,6 +97,12 @@ pub(crate) struct Node<K, V> {
     pub key_taken: AtomicBool,
     /// The logical-deletion mark, claimed with an atomic swap.
     pub deleted: AtomicBool,
+    /// Membership mark for the batched physical delete: set by the cleaner
+    /// (under the queue's cleaner lock) when it collects this node into an
+    /// unlink batch, so the per-level sweep can tell batch members from
+    /// nodes claimed after collection. Only the cleaner reads or writes it
+    /// while the node is linked.
+    pub in_unlink_batch: AtomicBool,
     /// `TimestampClock::MAX_TIME` until the insert completes.
     pub timestamp: AtomicU64,
     /// Serializes whole-node phases: held for the full linking of an insert
@@ -122,6 +128,7 @@ impl<K, V> Node<K, V> {
             value: UnsafeCell::new(value),
             key_taken: AtomicBool::new(false),
             deleted: AtomicBool::new(false),
+            in_unlink_batch: AtomicBool::new(false),
             timestamp: AtomicU64::new(u64::MAX),
             node_lock: RawMutex::INIT,
             levels,

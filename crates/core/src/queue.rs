@@ -14,6 +14,32 @@
 //!   at its predecessor so concurrent traversals escape gracefully.
 //! * Unlinked nodes go to the quiescence collector ([`crate::gc`]).
 //!
+//! ## Batched physical deletion (a departure from the paper)
+//!
+//! With [`SkipQueue::with_unlink_batch`] the winner of the `deleted` swap
+//! does *not* run Pugh's physical delete. It extracts the payload and
+//! returns immediately; the marked node stays linked. Once enough claimed
+//! nodes accumulate, one thread at a time (a try-lock — the fast path never
+//! blocks on it) collects the whole marked prefix of the bottom level and
+//! unlinks it with a single hand-over-hand sweep per level, amortizing the
+//! re-search and the two-locks-per-level protocol across the batch, then
+//! retires the group to the collector as one unit. A cache-line-private
+//! *scan-start hint* lets deleters begin their bottom-level walk past the
+//! already-claimed prefix instead of re-walking it from `head.next(0)`;
+//! inserts that land in front of the hint invalidate it *before* they
+//! time-stamp themselves, which is what keeps the paper's Definition 1
+//! intact (see `publish`/repair comments on the fields below). Claim order,
+//! sequence numbering, and timestamp placement are identical to the eager
+//! path, so strict-mode semantics are preserved bit for bit.
+//!
+//! Batching widens a window the eager path already has: a claimed node's
+//! key stays comparable-by-reference until the node is reclaimed, after
+//! the winning deleter has moved the key out. Keys must therefore order
+//! correctly on a bitwise copy whose original has been dropped — true for
+//! every `Copy`/scalar key (the paper's queues only ever hold integer
+//! priorities). Heap-owning keys (`String`, `Vec<u8>`, …) must stick to
+//! the eager default.
+//!
 //! Locking invariant: a node's `levels[i].next` is only written while
 //! holding that node's `levels[i].lock`; reads are lock-free (`Acquire`).
 //! Because a deleter holds the predecessor's level lock while unlinking,
@@ -22,9 +48,11 @@
 
 use std::cell::Cell;
 use std::mem::ManuallyDrop;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicPtr, AtomicU64, AtomicUsize, Ordering};
 
+use crossbeam_utils::CachePadded;
 use parking_lot::lock_api::RawMutex as RawMutexApi;
+use parking_lot::RawMutex;
 
 use crate::clock::TimestampClock;
 use crate::gc::Collector;
@@ -34,6 +62,14 @@ use crate::pq::PriorityQueue;
 /// Default cap on tower height (supports ~2^24 items comfortably).
 const DEFAULT_MAX_HEIGHT: usize = 24;
 
+/// Default claimed-node threshold that triggers a batched physical delete
+/// (see [`SkipQueue::with_unlink_batch`]).
+pub const DEFAULT_UNLINK_BATCH: usize = 128;
+
+/// Hard cap on how many nodes one cleanup sweep collects, bounding the
+/// latency of the delete that happens to trip the threshold.
+const MAX_BATCH: usize = 512;
+
 /// The skiplist-based concurrent priority queue.
 ///
 /// See the [crate docs](crate) for an overview and an example. All methods
@@ -42,14 +78,41 @@ const DEFAULT_MAX_HEIGHT: usize = 24;
 pub struct SkipQueue<K, V> {
     head: *mut Node<K, V>,
     tail: *mut Node<K, V>,
+    /// Self-padded to its own cache line(s); see [`TimestampClock`].
     clock: TimestampClock,
-    seq: AtomicU64,
-    len: AtomicUsize,
+    /// Insert sequence counter; padded so insert traffic does not false-share
+    /// with `len` (bumped by every delete) or the clock.
+    seq: CachePadded<AtomicU64>,
+    len: CachePadded<AtomicUsize>,
+    /// Claimed-but-still-linked nodes awaiting a batched physical delete.
+    deferred: CachePadded<AtomicUsize>,
+    /// Serializes batched cleanups. Only ever `try_lock`ed: the fast path
+    /// skips cleanup when another thread is already sweeping.
+    cleaner: CachePadded<RawMutex>,
+    /// Bottom-level scan-start hint: the first node a `delete_min` walk may
+    /// need to look at (null ⇒ start at `head.next(0)`). Everything
+    /// physically before it is marked. Published by the cleaner *before*
+    /// the batch it covers is retired, always with `SeqCst`, which (with the
+    /// `SeqCst` pin in [`crate::gc`]) is what makes dereferencing a loaded
+    /// hint sound: a thread whose pin is recent enough to allow the hint's
+    /// target to be freed is guaranteed to load the newer hint value.
+    front: CachePadded<AtomicPtr<Node<K, V>>>,
+    /// Bumped (`SeqCst`) by every insert after linking, before stamping.
+    /// The cleaner publishes a hint only if this is unchanged across its
+    /// collection walk (checked again right after the store), so an insert
+    /// that lands in front of a hint mid-publication either aborts the
+    /// publication or sees the published hint and repairs it — in both
+    /// cases before the insert time-stamps itself, so no *completed* insert
+    /// is ever hidden from a later scan (Definition 1).
+    front_epoch: CachePadded<AtomicU64>,
     max_height: usize,
     p_level: f64,
     /// Strict mode runs the paper's time-stamp mechanism; relaxed mode (§5.4)
     /// omits it and may return concurrently inserted items.
     strict: bool,
+    /// Claimed-node count that triggers a batched physical delete;
+    /// 0 = eager (the paper's per-delete Pugh unlink).
+    unlink_batch: usize,
     gc: Collector<K, V>,
 }
 
@@ -127,13 +190,41 @@ impl<K: Ord, V> SkipQueue<K, V> {
             head,
             tail,
             clock: TimestampClock::new(),
-            seq: AtomicU64::new(0),
-            len: AtomicUsize::new(0),
+            seq: CachePadded::new(AtomicU64::new(0)),
+            len: CachePadded::new(AtomicUsize::new(0)),
+            deferred: CachePadded::new(AtomicUsize::new(0)),
+            cleaner: CachePadded::new(RawMutex::INIT),
+            front: CachePadded::new(AtomicPtr::new(std::ptr::null_mut())),
+            front_epoch: CachePadded::new(AtomicU64::new(0)),
             max_height,
             p_level,
             strict,
+            unlink_batch: 0,
             gc: Collector::new(max_threads),
         }
+    }
+
+    /// Switches physical deletion to the deferred, batched scheme (see the
+    /// [module docs](self)): a claimed node stays linked until `threshold`
+    /// claims have accumulated, then one thread unlinks the whole claimed
+    /// prefix in a single sweep and retires it as a group. `threshold = 0`
+    /// restores the paper's eager per-delete unlink.
+    ///
+    /// Strict-mode ordering (Definition 1) is preserved exactly. The one
+    /// contract change: keys must order correctly when compared through a
+    /// bitwise copy after the original has been moved out and dropped —
+    /// every `Copy`/scalar key qualifies; heap-owning keys do not (see the
+    /// module docs).
+    #[must_use]
+    pub fn with_unlink_batch(mut self, threshold: usize) -> Self {
+        self.unlink_batch = threshold;
+        self
+    }
+
+    /// Strict queue with batched physical deletion at the default
+    /// threshold ([`DEFAULT_UNLINK_BATCH`]).
+    pub fn new_batched() -> Self {
+        Self::new().with_unlink_batch(DEFAULT_UNLINK_BATCH)
     }
 
     /// Approximate number of items (exact when no operations are in flight).
@@ -152,6 +243,14 @@ impl<K: Ord, V> SkipQueue<K, V> {
     }
 
     fn random_height(&self) -> usize {
+        if self.p_level == 0.5 {
+            // One RNG word decides the whole tower: each consecutive set low
+            // bit is an independent p = 1/2 "grow another level" success, so
+            // `1 + trailing_ones` has exactly the right geometric law and
+            // costs one xorshift instead of one per level.
+            let h = 1 + thread_rng_next().trailing_ones() as usize;
+            return h.min(self.max_height);
+        }
         let mut h = 1;
         let threshold = (self.p_level * 2f64.powi(32)) as u64;
         while h < self.max_height && (thread_rng_next() & 0xFFFF_FFFF) < threshold {
@@ -249,6 +348,19 @@ impl<K: Ord, V> SkipQueue<K, V> {
                 (*pred).levels[lvl].lock.unlock();
             }
             (*node).node_lock.unlock();
+            if self.unlink_batch != 0 {
+                // Hint maintenance, ordered *before* the time stamp: a scan
+                // that starts after this insert completes must not begin past
+                // the new node. Bump the epoch (aborts any in-flight hint
+                // publication), then repair the hint ourselves if it already
+                // points past us. `SeqCst` so the cleaner's epoch re-check
+                // and this bump have a total order (see `front_epoch` docs).
+                self.front_epoch.fetch_add(1, Ordering::SeqCst);
+                let hint = self.front.load(Ordering::SeqCst);
+                if !hint.is_null() && hint != node && (*hint).key > (*node).key {
+                    self.front.store(std::ptr::null_mut(), Ordering::SeqCst);
+                }
+            }
             // Figure 10 line 29: the time stamp is set only after the node
             // is completely inserted.
             (*node)
@@ -277,12 +389,37 @@ impl<K: Ord, V> SkipQueue<K, V> {
         };
         // SAFETY: pinned for the whole operation.
         unsafe {
-            let mut node1 = (*self.head).next(0);
+            let mut node1 = if self.unlink_batch != 0 {
+                // Start past the already-claimed prefix when a hint is
+                // published. Sound to dereference: the hint covering a batch
+                // is published (SeqCst) before that batch is retired, and we
+                // loaded it after our pin, so a stale value can only name a
+                // node whose retirement the collector still considers us a
+                // witness of (see `front` docs).
+                let hint = self.front.load(Ordering::SeqCst);
+                if hint.is_null() {
+                    (*self.head).next(0)
+                } else {
+                    hint
+                }
+            } else {
+                (*self.head).next(0)
+            };
             let claimed = loop {
                 if node1 == self.tail {
+                    if self.unlink_batch != 0 && self.deferred.load(Ordering::Relaxed) > 0 {
+                        // EMPTY but claimed nodes are still linked: sweep now
+                        // so an idle queue does not pin its final batch.
+                        self.cleanup(&guard);
+                    }
                     return None; // EMPTY
                 }
+                // Batched mode test-and-test-and-set: marked nodes linger
+                // until the next sweep, so filter with a read before the
+                // claiming swap to keep the walk over them write-free
+                // (identical semantics — the swap alone decides the winner).
                 if (*node1).timestamp.load(Ordering::Acquire) < time
+                    && (self.unlink_batch == 0 || !(*node1).deleted.load(Ordering::Acquire))
                     && !(*node1).deleted.swap(true, Ordering::AcqRel)
                 {
                     break node1;
@@ -290,15 +427,139 @@ impl<K: Ord, V> SkipQueue<K, V> {
                 node1 = (*node1).next(0);
             };
             self.len.fetch_sub(1, Ordering::Relaxed);
-            self.unlink(claimed);
-            // Extract the payload. We are the unique winner of the swap and
-            // the node is fully unlinked; nobody else touches key/value.
-            let value = (*(*claimed).value.get())
-                .take()
-                .expect("claimed node has a value");
-            let key = (*claimed).take_key();
-            self.gc.retire(&guard, claimed);
-            Some((key, value))
+            if self.unlink_batch == 0 {
+                self.unlink(claimed);
+                // Extract the payload. We are the unique winner of the swap
+                // and the node is fully unlinked; nobody else touches
+                // key/value.
+                let value = (*(*claimed).value.get())
+                    .take()
+                    .expect("claimed node has a value");
+                let key = (*claimed).take_key();
+                self.gc.retire(&guard, claimed);
+                Some((key, value))
+            } else {
+                // Deferred: extract the payload but leave the marked node
+                // linked. Winner exclusivity still protects key/value — the
+                // mark is never cleared, so no other thread touches them.
+                let value = (*(*claimed).value.get())
+                    .take()
+                    .expect("claimed node has a value");
+                let key = (*claimed).take_key();
+                if self.deferred.fetch_add(1, Ordering::AcqRel) + 1 >= self.unlink_batch {
+                    self.cleanup(&guard);
+                }
+                Some((key, value))
+            }
+        }
+    }
+
+    /// Batched physical delete: collect the contiguous marked prefix of the
+    /// bottom level, unlink every member with one counting hand-over-hand
+    /// sweep per level (top-down, two locks per level — the same protocol
+    /// as [`SkipQueue::unlink`], amortized across the batch), publish the
+    /// scan-start hint, and retire the batch as a group.
+    ///
+    /// Only one thread sweeps at a time (`cleaner` try-lock); callers that
+    /// lose simply return — the fast path never blocks here.
+    ///
+    /// # Safety
+    ///
+    /// Caller must hold a GC pin (`guard`) and `self.unlink_batch != 0`.
+    unsafe fn cleanup(&self, guard: &crate::gc::Guard<'_, K, V>) {
+        if !self.cleaner.try_lock() {
+            return;
+        }
+        // Epoch snapshot for the hint publication below: if any insert
+        // completes linking after this point, the publication is aborted or
+        // repaired (see `front_epoch` docs).
+        let v1 = self.front_epoch.load(Ordering::SeqCst);
+        // SAFETY: pinned; batch members stay linked until we unlink them
+        // (only the cleaner unlinks in batched mode, and we hold its lock).
+        unsafe {
+            // Phase 1: collect the marked prefix. Stop at the first node
+            // that is unmarked, still mid-insert (node lock held — possible
+            // in relaxed mode, which can claim before stamping), or past the
+            // batch-size cap. `stop` is the first node NOT in the batch and
+            // becomes the published scan hint.
+            let mut batch: Vec<*mut Node<K, V>> = Vec::new();
+            let mut cur = (*self.head).next(0);
+            let stop = loop {
+                if cur == self.tail
+                    || batch.len() >= MAX_BATCH
+                    || !(*cur).deleted.load(Ordering::Acquire)
+                {
+                    break cur;
+                }
+                if !(*cur).node_lock.try_lock() {
+                    break cur; // insert still linking its upper levels
+                }
+                (*cur).node_lock.unlock();
+                (*cur).in_unlink_batch.store(true, Ordering::Relaxed);
+                batch.push(cur);
+                cur = (*cur).next(0);
+            };
+            if batch.is_empty() {
+                self.cleaner.unlock();
+                return;
+            }
+            // Phase 2: per-level membership counts, so each level's sweep
+            // knows when it has seen the whole batch and can stop.
+            let mut level_counts = [0usize; MAX_HEIGHT];
+            for &n in &batch {
+                for c in level_counts.iter_mut().take((*n).height()) {
+                    *c += 1;
+                }
+            }
+            // Phase 3: top-down counting sweep. One hand-over-hand pass per
+            // level from the head; every batch member met is unlinked under
+            // the usual two locks (pred's and its own), with the backward
+            // pointer left for concurrent traversals. Members cannot be
+            // unlinked by anyone else, so each level pass terminates after
+            // `level_counts[lvl]` removals.
+            for lvl in (0..self.max_height).rev() {
+                let mut remaining = level_counts[lvl];
+                if remaining == 0 {
+                    continue;
+                }
+                let mut pred = self.head;
+                (*pred).levels[lvl].lock.lock();
+                while remaining > 0 {
+                    let cur = (*pred).next(lvl);
+                    debug_assert_ne!(cur, self.tail, "batch member lost at level {lvl}");
+                    if (*cur).in_unlink_batch.load(Ordering::Relaxed) {
+                        (*cur).levels[lvl].lock.lock();
+                        (*pred).levels[lvl]
+                            .next
+                            .store((*cur).next(lvl), Ordering::Release);
+                        (*cur).levels[lvl].next.store(pred, Ordering::Release);
+                        (*cur).levels[lvl].lock.unlock();
+                        remaining -= 1;
+                    } else {
+                        // A node inserted (or claimed after collection)
+                        // between batch members: keep it, advance past.
+                        (*cur).levels[lvl].lock.lock();
+                        (*pred).levels[lvl].lock.unlock();
+                        pred = cur;
+                    }
+                }
+                (*pred).levels[lvl].lock.unlock();
+            }
+            // Phase 4: publish the scan hint — but only if no insert
+            // completed linking since `v1`; re-check after the store and
+            // roll back so a racing insert can never be hidden. Must happen
+            // *before* the batch is retired (Phase 5) — that order is what
+            // makes dereferencing a loaded hint safe (see `front` docs).
+            if self.front_epoch.load(Ordering::SeqCst) == v1 {
+                self.front.store(stop, Ordering::SeqCst);
+                if self.front_epoch.load(Ordering::SeqCst) != v1 {
+                    self.front.store(std::ptr::null_mut(), Ordering::SeqCst);
+                }
+            }
+            // Phase 5: hand the whole batch to the collector in one shot.
+            self.deferred.fetch_sub(batch.len(), Ordering::AcqRel);
+            self.gc.retire_batch(guard, batch);
+            self.cleaner.unlock();
         }
     }
 
@@ -343,19 +604,35 @@ impl<K: Ord, V> SkipQueue<K, V> {
     pub fn check_invariants(&mut self) {
         // SAFETY: &mut self — no concurrent operations.
         unsafe {
-            let mut count = 0usize;
+            let mut live = 0usize;
+            let mut marked = 0usize;
             for lvl in (0..self.max_height).rev() {
                 let mut prev = self.head;
                 let mut cur = (*prev).next(lvl);
                 while cur != self.tail {
                     assert!((*prev).key < (*cur).key, "level {lvl} out of order");
                     assert!((*cur).height() > lvl, "node linked above its height");
-                    assert!(
-                        !(*cur).deleted.load(Ordering::Relaxed),
-                        "marked node still linked in quiescent state"
-                    );
-                    if lvl == 0 {
-                        count += 1;
+                    if (*cur).deleted.load(Ordering::Relaxed) {
+                        // Batched mode legitimately leaves claimed nodes
+                        // linked until the next sweep; they must already be
+                        // emptied by their winning deleter.
+                        assert_ne!(
+                            self.unlink_batch, 0,
+                            "marked node still linked in quiescent state"
+                        );
+                        assert!(
+                            (*cur).key_taken.load(Ordering::Relaxed),
+                            "deferred node's key not taken"
+                        );
+                        assert!(
+                            (*(*cur).value.get()).is_none(),
+                            "deferred node still holds a value"
+                        );
+                        if lvl == 0 {
+                            marked += 1;
+                        }
+                    } else if lvl == 0 {
+                        live += 1;
                         assert_ne!(
                             (*cur).timestamp.load(Ordering::Relaxed),
                             u64::MAX,
@@ -366,7 +643,12 @@ impl<K: Ord, V> SkipQueue<K, V> {
                     cur = (*cur).next(lvl);
                 }
             }
-            assert_eq!(count, self.len(), "len out of sync with bottom level");
+            assert_eq!(live, self.len(), "len out of sync with bottom level");
+            assert_eq!(
+                marked,
+                self.deferred.load(Ordering::Relaxed),
+                "deferred counter out of sync with marked nodes"
+            );
         }
     }
 
@@ -417,6 +699,8 @@ impl<K, V> std::fmt::Debug for SkipQueue<K, V> {
             .field("len", &self.len.load(Ordering::Relaxed))
             .field("max_height", &self.max_height)
             .field("strict", &self.strict)
+            .field("unlink_batch", &self.unlink_batch)
+            .field("deferred", &self.deferred.load(Ordering::Relaxed))
             .finish_non_exhaustive()
     }
 }
@@ -743,5 +1027,229 @@ mod tests {
             let (k, _) = q.delete_min().expect("completed insert must be seen");
             assert_eq!(k, round);
         }
+    }
+
+    #[test]
+    fn batched_single_thread_ordering() {
+        let mut q = SkipQueue::new().with_unlink_batch(8);
+        for k in [5u64, 1, 9, 3, 7, 0, 8, 2, 6, 4] {
+            q.insert(k, k * 10);
+        }
+        q.check_invariants();
+        for expect in 0..10u64 {
+            assert_eq!(q.delete_min(), Some((expect, expect * 10)));
+        }
+        assert_eq!(q.delete_min(), None);
+        q.check_invariants();
+    }
+
+    #[test]
+    fn batched_randomized_against_binary_heap() {
+        // Small threshold so sweeps fire constantly, including mid-stream.
+        let mut q = SkipQueue::new().with_unlink_batch(4);
+        let mut reference = BinaryHeap::new();
+        let mut state = 99u64;
+        for i in 0..5_000 {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            if state.is_multiple_of(3) {
+                let got = q.delete_min().map(|(k, _)| k);
+                let want = reference.pop().map(|std::cmp::Reverse(k)| k);
+                assert_eq!(got, want, "step {i}");
+            } else {
+                let k = state >> 32;
+                q.insert(k, ());
+                reference.push(std::cmp::Reverse(k));
+            }
+            if i % 512 == 0 {
+                q.check_invariants();
+            }
+        }
+        assert_eq!(q.len(), reference.len());
+        q.check_invariants();
+    }
+
+    #[test]
+    fn batched_strict_ordering_smoke() {
+        // Definition 1 through the hint: a completed insert — even one that
+        // lands *in front of* a published scan hint — must be visible to
+        // the next delete_min.
+        let q = SkipQueue::new().with_unlink_batch(2);
+        // Build a dead prefix so a hint gets published past key 100.
+        for k in 100..120u64 {
+            q.insert(k, ());
+        }
+        for _ in 0..10 {
+            q.delete_min().unwrap();
+        }
+        for round in 0..50u64 {
+            q.insert(round, ()); // smaller than everything left: hint must yield
+            let (k, _) = q.delete_min().expect("completed insert must be seen");
+            assert_eq!(k, round, "hint hid a completed insert");
+        }
+    }
+
+    #[test]
+    fn batched_multithread_stress_matches_model() {
+        // Phase 1: real threads hammer the batched queue; phase 2: drain
+        // quiescently and compare the union of everything delivered against
+        // a sequential model fed the same inserts.
+        use crate::seq::SeqSkipList;
+        let q = Arc::new(SkipQueue::new().with_unlink_batch(8));
+        let threads = 8usize;
+        let per = 1_500u64;
+        let results: Vec<(Vec<u64>, Vec<u64>)> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..threads)
+                .map(|t| {
+                    let q = Arc::clone(&q);
+                    s.spawn(move || {
+                        let mut inserted = Vec::new();
+                        let mut got = Vec::new();
+                        let mut state = (t as u64 + 1) * 0x1234_5677;
+                        for i in 0..per {
+                            state ^= state << 13;
+                            state ^= state >> 7;
+                            state ^= state << 17;
+                            if state % 3 != 0 {
+                                let k = (state >> 16) << 4 | t as u64; // unique per thread
+                                q.insert(k, t as u64);
+                                inserted.push(k);
+                            } else if let Some((k, _)) = q.delete_min() {
+                                got.push(k);
+                            }
+                            let _ = i;
+                        }
+                        (inserted, got)
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        let mut q = Arc::into_inner(q).unwrap();
+        q.check_invariants();
+        let mut all_inserted: Vec<u64> = results.iter().flat_map(|(i, _)| i.clone()).collect();
+        let mut delivered: Vec<u64> = results.iter().flat_map(|(_, g)| g.clone()).collect();
+        let remaining = q.drain_sorted();
+        assert!(
+            remaining.windows(2).all(|w| w[0].0 <= w[1].0),
+            "drain out of order"
+        );
+        delivered.extend(remaining.iter().map(|(k, _)| *k));
+        // Same multiset: feed the model and drain it fully.
+        let mut model = SeqSkipList::new();
+        for &k in &all_inserted {
+            model.insert(k, ());
+        }
+        let mut model_all: Vec<u64> =
+            std::iter::from_fn(|| model.delete_min().map(|(k, _)| k)).collect();
+        all_inserted.sort_unstable();
+        delivered.sort_unstable();
+        model_all.sort_unstable();
+        assert_eq!(delivered, all_inserted, "lost or duplicated items");
+        assert_eq!(model_all, all_inserted, "model disagrees on contents");
+    }
+
+    #[test]
+    fn batched_retirement_frees_every_node() {
+        // Tracked VALUES (keys must be Copy-friendly in batched mode): every
+        // payload must be dropped exactly once after quiescence, proving the
+        // batch-retirement path reclaims every deferred node.
+        use std::sync::atomic::AtomicUsize;
+        static DROPS: AtomicUsize = AtomicUsize::new(0);
+
+        struct Tracked;
+        impl Drop for Tracked {
+            fn drop(&mut self) {
+                DROPS.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+
+        let n = 1_000u64;
+        {
+            let q: SkipQueue<u64, Tracked> = SkipQueue::new().with_unlink_batch(16);
+            for k in 0..n {
+                q.insert(k, Tracked);
+            }
+            for _ in 0..n {
+                drop(q.delete_min().unwrap().1);
+            }
+            assert_eq!(q.delete_min().map(|_| ()), None);
+            // All nodes are either retired or still linked-but-claimed; a
+            // forced collection after quiescence must free every retiree.
+            q.collect_garbage();
+            assert_eq!(q.garbage_pending(), 0, "batch retirement left garbage");
+        }
+        assert_eq!(DROPS.load(Ordering::SeqCst), n as usize, "leaked payloads");
+    }
+
+    #[test]
+    fn batched_multithread_drain_no_duplicates() {
+        let q = Arc::new(SkipQueue::new_batched());
+        let n = 4_000u64;
+        for k in 0..n {
+            q.insert(k, ());
+        }
+        let mut all: Vec<u64> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..8)
+                .map(|_| {
+                    let q = Arc::clone(&q);
+                    s.spawn(move || {
+                        let mut got = Vec::new();
+                        while let Some((k, _)) = q.delete_min() {
+                            got.push(k);
+                        }
+                        got
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().unwrap())
+                .collect()
+        });
+        assert_eq!(all.len() as u64, n);
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len() as u64, n, "duplicates delivered");
+        let mut q = Arc::into_inner(q).unwrap();
+        q.check_invariants();
+    }
+
+    #[test]
+    fn batched_relaxed_mode_conserves_items() {
+        let q = Arc::new(SkipQueue::new_relaxed().with_unlink_batch(8));
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                let q = Arc::clone(&q);
+                s.spawn(move || {
+                    for i in 0..1_000u64 {
+                        q.insert(t * 10_000 + i, ());
+                        if i % 2 == 0 {
+                            q.delete_min();
+                        }
+                    }
+                });
+            }
+        });
+        let mut q = Arc::into_inner(q).unwrap();
+        q.check_invariants();
+        assert_eq!(q.len(), 4 * 1_000 - 4 * 500);
+    }
+
+    #[test]
+    fn random_height_distribution_sane() {
+        // The one-word fast path must keep the geometric(1/2) shape: about
+        // half the towers are height 1, none exceed the cap.
+        let q: SkipQueue<u64, ()> = SkipQueue::with_params(8, 0.5, true, 4);
+        let mut counts = [0usize; 9];
+        for _ in 0..20_000 {
+            let h = q.random_height();
+            assert!((1..=8).contains(&h));
+            counts[h] += 1;
+        }
+        let h1 = counts[1] as f64 / 20_000.0;
+        assert!((0.4..0.6).contains(&h1), "P(h=1) = {h1}, expected ~0.5");
+        assert!(counts[8] > 0, "cap level never reached in 20k draws");
     }
 }

@@ -1,0 +1,466 @@
+//! Native benchmark harness for the concurrent [`SkipQueue`].
+//!
+//! Unlike `pq-bench` (which drives the *simulated* machine to reproduce the
+//! paper's figures), this crate measures the real implementation with real
+//! `std::thread`s on the host: throughput and `delete_min` latency
+//! percentiles across four workloads and a sweep of thread counts, in both
+//! the paper's eager-unlink mode (`baseline`) and the batched
+//! physical-deletion mode (`batched`, see
+//! [`SkipQueue::with_unlink_batch`]).
+//!
+//! Results are written as a single self-describing JSON document
+//! (`BENCH_native.json` at the repo root by convention); the `--check` mode
+//! re-parses a results file with the in-crate JSON reader so CI can verify
+//! the artifact without external dependencies.
+
+#![deny(unsafe_op_in_unsafe_fn)]
+#![warn(missing_docs)]
+
+pub mod hist;
+pub mod json;
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Barrier};
+use std::time::Instant;
+
+use skipqueue::SkipQueue;
+
+use hist::LatencyHist;
+
+/// Schema identifier stamped into every results document.
+pub const SCHEMA: &str = "nbench-v1";
+
+/// The four workload shapes the harness runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Workload {
+    /// 50% insert / 50% delete_min.
+    Mixed,
+    /// 80% insert / 20% delete_min.
+    InsertHeavy,
+    /// 20% insert / 80% delete_min (the regime batching targets).
+    DeleteHeavy,
+    /// The classic *hold* model: every step inserts a random key and then
+    /// removes the minimum, holding queue size constant.
+    Hold,
+}
+
+impl Workload {
+    /// All workloads, in reporting order.
+    pub const ALL: [Workload; 4] = [
+        Workload::Mixed,
+        Workload::InsertHeavy,
+        Workload::DeleteHeavy,
+        Workload::Hold,
+    ];
+
+    /// Stable name used in JSON output and on the command line.
+    pub fn name(self) -> &'static str {
+        match self {
+            Workload::Mixed => "mixed",
+            Workload::InsertHeavy => "insert-heavy",
+            Workload::DeleteHeavy => "delete-heavy",
+            Workload::Hold => "hold",
+        }
+    }
+
+    /// Parses a command-line workload name.
+    pub fn from_name(s: &str) -> Option<Self> {
+        Self::ALL.into_iter().find(|w| w.name() == s)
+    }
+
+    /// Out of 10 steps, how many are inserts (`Hold` is handled specially).
+    fn insert_per_10(self) -> u64 {
+        match self {
+            Workload::Mixed => 5,
+            Workload::InsertHeavy => 8,
+            Workload::DeleteHeavy => 2,
+            Workload::Hold => 5, // unused
+        }
+    }
+}
+
+/// One benchmark configuration and its measurements.
+#[derive(Debug)]
+pub struct RunResult {
+    /// Workload shape.
+    pub workload: Workload,
+    /// Number of real threads driving the queue.
+    pub threads: usize,
+    /// `"baseline"` (eager unlink) or `"batched"`.
+    pub mode: &'static str,
+    /// Wall-clock duration of the measured region, seconds.
+    pub elapsed_s: f64,
+    /// Total operations completed (inserts + delete_min calls).
+    pub total_ops: u64,
+    /// Number of `delete_min` calls (successful or empty).
+    pub delete_ops: u64,
+    /// Number of `delete_min` calls that returned an item.
+    pub delete_hits: u64,
+    /// `delete_min` latency distribution, nanoseconds.
+    pub delete_latency: LatencyHist,
+}
+
+impl RunResult {
+    /// Operations per second over the measured region.
+    pub fn throughput(&self) -> f64 {
+        self.total_ops as f64 / self.elapsed_s
+    }
+
+    /// `delete_min` calls per second over the measured region.
+    pub fn delete_throughput(&self) -> f64 {
+        self.delete_ops as f64 / self.elapsed_s
+    }
+}
+
+/// Harness-wide knobs.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Operations per thread in the measured region.
+    pub ops_per_thread: u64,
+    /// Items inserted before the clock starts.
+    pub prefill: u64,
+    /// Batch threshold used in `batched` mode.
+    pub unlink_batch: usize,
+    /// Thread counts to sweep.
+    pub threads: Vec<usize>,
+    /// Workloads to run.
+    pub workloads: Vec<Workload>,
+    /// Skip the batched mode (measure the paper's eager unlink only).
+    pub baseline_only: bool,
+}
+
+impl Config {
+    /// Default sweep: powers of two from 1 to `max(8, 2 × cores)`.
+    pub fn default_threads() -> Vec<usize> {
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        let top = (2 * cores).max(8);
+        let mut v = Vec::new();
+        let mut t = 1;
+        while t <= top {
+            v.push(t);
+            t *= 2;
+        }
+        if *v.last().unwrap() != top {
+            v.push(top);
+        }
+        v
+    }
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Self {
+            ops_per_thread: 50_000,
+            prefill: 10_000,
+            unlink_batch: skipqueue::DEFAULT_UNLINK_BATCH,
+            threads: Self::default_threads(),
+            workloads: Workload::ALL.to_vec(),
+            baseline_only: false,
+        }
+    }
+}
+
+fn xorshift(state: &mut u64) -> u64 {
+    let mut x = *state;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    *state = x;
+    x
+}
+
+/// Runs one `(workload, threads, mode)` cell and returns its measurements.
+pub fn run_one(cfg: &Config, workload: Workload, threads: usize, batched: bool) -> RunResult {
+    let queue = if batched {
+        SkipQueue::new().with_unlink_batch(cfg.unlink_batch)
+    } else {
+        SkipQueue::new()
+    };
+    let queue: Arc<SkipQueue<u64, u64>> = Arc::new(queue);
+    // Prefill outside the measured region; spread keys so the measured
+    // inserts land on both sides of the existing population. A draining
+    // workload (more deletes than inserts) gets its expected net drain added
+    // so the queue stays populated for the whole measured region — otherwise
+    // the run degenerates into benchmarking the EMPTY path.
+    let total_ops = cfg.ops_per_thread * threads as u64;
+    let net_drain = match workload {
+        Workload::Hold => 0,
+        w => {
+            let ins = w.insert_per_10();
+            (10 - ins).saturating_sub(ins) * total_ops / 10
+        }
+    };
+    let prefill = cfg.prefill + net_drain + net_drain / 10;
+    let mut seed = 0xBEEF_CAFE_1234_5678u64;
+    for i in 0..prefill {
+        queue.insert(xorshift(&mut seed) >> 16, i);
+    }
+
+    let barrier = Arc::new(Barrier::new(threads + 1));
+    let deletes = Arc::new(AtomicU64::new(0));
+    let hits = Arc::new(AtomicU64::new(0));
+    let ops = cfg.ops_per_thread;
+
+    let handles: Vec<std::thread::JoinHandle<LatencyHist>> = (0..threads)
+        .map(|t| {
+            let queue = Arc::clone(&queue);
+            let barrier = Arc::clone(&barrier);
+            let deletes = Arc::clone(&deletes);
+            let hits = Arc::clone(&hits);
+            std::thread::spawn(move || {
+                let mut hist = LatencyHist::new();
+                let mut state = (t as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                let mut my_deletes = 0u64;
+                let mut my_hits = 0u64;
+                barrier.wait();
+                let mut i = 0u64;
+                while i < ops {
+                    let step = xorshift(&mut state);
+                    let do_insert = match workload {
+                        // Hold alternates strictly: insert, then delete.
+                        Workload::Hold => i.is_multiple_of(2),
+                        w => step % 10 < w.insert_per_10(),
+                    };
+                    if do_insert {
+                        queue.insert(step >> 16, t as u64);
+                    } else {
+                        let start = Instant::now();
+                        let got = queue.delete_min();
+                        hist.record(start.elapsed().as_nanos() as u64);
+                        my_deletes += 1;
+                        if got.is_some() {
+                            my_hits += 1;
+                        }
+                    }
+                    i += 1;
+                }
+                deletes.fetch_add(my_deletes, Ordering::Relaxed);
+                hits.fetch_add(my_hits, Ordering::Relaxed);
+                hist
+            })
+        })
+        .collect();
+
+    barrier.wait();
+    let start = Instant::now();
+    let mut merged = LatencyHist::new();
+    for h in handles {
+        merged.merge(&h.join().expect("bench thread panicked"));
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+
+    RunResult {
+        workload,
+        threads,
+        mode: if batched { "batched" } else { "baseline" },
+        elapsed_s: elapsed,
+        total_ops: ops * threads as u64,
+        delete_ops: deletes.load(Ordering::Relaxed),
+        delete_hits: hits.load(Ordering::Relaxed),
+        delete_latency: merged,
+    }
+}
+
+/// Runs the full sweep described by `cfg`.
+pub fn run_all(cfg: &Config, mut progress: impl FnMut(&RunResult)) -> Vec<RunResult> {
+    let mut out = Vec::new();
+    let modes: &[bool] = if cfg.baseline_only {
+        &[false]
+    } else {
+        &[false, true]
+    };
+    for &workload in &cfg.workloads {
+        for &threads in &cfg.threads {
+            for &batched in modes {
+                let r = run_one(cfg, workload, threads, batched);
+                progress(&r);
+                out.push(r);
+            }
+        }
+    }
+    out
+}
+
+/// Renders the full results document (schema `nbench-v1`).
+pub fn render_report(cfg: &Config, results: &[RunResult]) -> String {
+    use json::JsonWriter;
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut w = JsonWriter::new();
+    w.begin_object();
+    w.field_str("schema", SCHEMA);
+    w.key("host");
+    w.begin_object();
+    w.field_u64("cores", cores as u64);
+    w.end_object();
+    w.field_u64("ops_per_thread", cfg.ops_per_thread);
+    w.field_u64("prefill", cfg.prefill);
+    w.field_u64("unlink_batch", cfg.unlink_batch as u64);
+    w.key("runs");
+    w.begin_array();
+    for r in results {
+        w.begin_object();
+        w.field_str("workload", r.workload.name());
+        w.field_u64("threads", r.threads as u64);
+        w.field_str("mode", r.mode);
+        w.field_f64("elapsed_s", r.elapsed_s);
+        w.field_u64("total_ops", r.total_ops);
+        w.field_f64("throughput_ops_per_s", r.throughput());
+        w.field_u64("delete_min_ops", r.delete_ops);
+        w.field_u64("delete_min_hits", r.delete_hits);
+        w.field_f64("delete_min_ops_per_s", r.delete_throughput());
+        w.key("delete_latency_ns");
+        w.begin_object();
+        w.field_u64("p50", r.delete_latency.percentile(50.0));
+        w.field_u64("p90", r.delete_latency.percentile(90.0));
+        w.field_u64("p99", r.delete_latency.percentile(99.0));
+        w.field_u64("max", r.delete_latency.max());
+        w.field_u64("count", r.delete_latency.count());
+        w.end_object();
+        w.end_object();
+    }
+    w.end_array();
+    w.key("summary");
+    w.begin_object();
+    w.key("delete_min_speedup_batched_vs_baseline");
+    w.begin_array();
+    for &workload in &[Workload::DeleteHeavy, Workload::Mixed] {
+        for r in results
+            .iter()
+            .filter(|r| r.workload == workload && r.mode == "batched")
+        {
+            if let Some(base) = results
+                .iter()
+                .find(|b| b.workload == workload && b.threads == r.threads && b.mode == "baseline")
+            {
+                w.begin_object();
+                w.field_str("workload", workload.name());
+                w.field_u64("threads", r.threads as u64);
+                w.field_f64("speedup", r.delete_throughput() / base.delete_throughput());
+                w.end_object();
+            }
+        }
+    }
+    w.end_array();
+    w.end_object();
+    w.end_object();
+    w.finish()
+}
+
+/// Validates a results document produced by [`render_report`]: parses it
+/// with the in-crate JSON reader and checks the schema plus per-run field
+/// sanity. Returns the number of runs on success.
+pub fn check_report(text: &str) -> Result<usize, String> {
+    let doc = json::parse(text)?;
+    let obj = doc.as_object().ok_or("top level must be an object")?;
+    let schema = obj
+        .get("schema")
+        .and_then(|v| v.as_str())
+        .ok_or("missing schema")?;
+    if schema != SCHEMA {
+        return Err(format!("unexpected schema {schema:?}"));
+    }
+    let runs = obj
+        .get("runs")
+        .and_then(|v| v.as_array())
+        .ok_or("missing runs array")?;
+    if runs.is_empty() {
+        return Err("runs array is empty".into());
+    }
+    for (i, run) in runs.iter().enumerate() {
+        let run = run.as_object().ok_or(format!("run {i} not an object"))?;
+        for key in [
+            "workload",
+            "threads",
+            "mode",
+            "elapsed_s",
+            "total_ops",
+            "throughput_ops_per_s",
+            "delete_min_ops",
+            "delete_latency_ns",
+        ] {
+            if !run.contains_key(key) {
+                return Err(format!("run {i} missing field {key:?}"));
+            }
+        }
+        let mode = run.get("mode").and_then(|v| v.as_str()).unwrap_or("");
+        if mode != "baseline" && mode != "batched" {
+            return Err(format!("run {i} has unknown mode {mode:?}"));
+        }
+        let tp = run
+            .get("throughput_ops_per_s")
+            .and_then(|v| v.as_f64())
+            .unwrap_or(-1.0);
+        if tp.is_nan() || tp <= 0.0 {
+            return Err(format!("run {i} has non-positive throughput"));
+        }
+        let lat = run
+            .get("delete_latency_ns")
+            .and_then(|v| v.as_object())
+            .ok_or(format!("run {i} latency block not an object"))?;
+        let p50 = lat.get("p50").and_then(|v| v.as_f64()).unwrap_or(-1.0);
+        let p99 = lat.get("p99").and_then(|v| v.as_f64()).unwrap_or(-1.0);
+        if p50 < 0.0 || p99 < 0.0 || p99 + 1.0 < p50 {
+            return Err(format!("run {i} has implausible latency percentiles"));
+        }
+    }
+    Ok(runs.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_config() -> Config {
+        Config {
+            ops_per_thread: 400,
+            prefill: 200,
+            unlink_batch: 8,
+            threads: vec![1, 2],
+            workloads: vec![Workload::Mixed, Workload::DeleteHeavy],
+            baseline_only: false,
+        }
+    }
+
+    #[test]
+    fn tiny_sweep_produces_sane_results() {
+        let cfg = tiny_config();
+        let results = run_all(&cfg, |_| {});
+        // 2 workloads × 2 thread counts × 2 modes.
+        assert_eq!(results.len(), 8);
+        for r in &results {
+            assert_eq!(r.total_ops, cfg.ops_per_thread * r.threads as u64);
+            assert!(r.elapsed_s > 0.0);
+            assert!(r.delete_ops > 0);
+            assert!(r.delete_latency.count() == r.delete_ops);
+        }
+    }
+
+    #[test]
+    fn report_roundtrips_through_checker() {
+        let cfg = tiny_config();
+        let results = run_all(&cfg, |_| {});
+        let text = render_report(&cfg, &results);
+        let n = check_report(&text).expect("self-produced report must validate");
+        assert_eq!(n, results.len());
+    }
+
+    #[test]
+    fn checker_rejects_garbage() {
+        assert!(check_report("not json").is_err());
+        assert!(check_report("{}").is_err());
+        assert!(check_report(r#"{"schema":"nbench-v1","runs":[]}"#).is_err());
+        assert!(check_report(r#"{"schema":"wrong","runs":[{}]}"#).is_err());
+    }
+
+    #[test]
+    fn workload_names_roundtrip() {
+        for w in Workload::ALL {
+            assert_eq!(Workload::from_name(w.name()), Some(w));
+        }
+        assert_eq!(Workload::from_name("nope"), None);
+    }
+}

@@ -1,0 +1,124 @@
+//! `nbench` — native benchmark harness for the concurrent SkipQueue.
+//!
+//! ```text
+//! nbench [--quick] [--ops N] [--prefill N] [--threads 1,2,4,8]
+//!        [--workloads mixed,delete-heavy] [--batch N] [--baseline]
+//!        [--out PATH]
+//! nbench --check PATH      # validate an existing results file
+//! ```
+
+use std::process::ExitCode;
+
+use nbench::{check_report, render_report, run_all, Config, Workload};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: nbench [--quick] [--ops N] [--prefill N] [--threads LIST] \
+         [--workloads LIST] [--batch N] [--baseline] [--out PATH]\n\
+         \u{20}      nbench --check PATH"
+    );
+    std::process::exit(2);
+}
+
+fn main() -> ExitCode {
+    let mut cfg = Config::default();
+    let mut out_path = String::from("BENCH_native.json");
+    let mut check_path: Option<String> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut next = |flag: &str| args.next().unwrap_or_else(|| usage_missing(flag));
+        match arg.as_str() {
+            "--quick" => {
+                cfg.ops_per_thread = 2_000;
+                cfg.prefill = 1_000;
+                cfg.threads = vec![1, 2, 8];
+            }
+            "--ops" => cfg.ops_per_thread = parse_num(&next("--ops")),
+            "--prefill" => cfg.prefill = parse_num(&next("--prefill")),
+            "--batch" => cfg.unlink_batch = parse_num(&next("--batch")) as usize,
+            "--baseline" => cfg.baseline_only = true,
+            "--threads" => {
+                cfg.threads = next("--threads")
+                    .split(',')
+                    .map(|t| parse_num(t) as usize)
+                    .collect();
+                if cfg.threads.is_empty() || cfg.threads.contains(&0) {
+                    usage();
+                }
+            }
+            "--workloads" => {
+                cfg.workloads = next("--workloads")
+                    .split(',')
+                    .map(|w| Workload::from_name(w).unwrap_or_else(|| usage()))
+                    .collect();
+            }
+            "--out" => out_path = next("--out"),
+            "--check" => check_path = Some(next("--check")),
+            _ => usage(),
+        }
+    }
+
+    if let Some(path) = check_path {
+        let text = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("nbench: cannot read {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        return match check_report(&text) {
+            Ok(n) => {
+                println!("{path}: OK ({n} runs)");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("{path}: INVALID: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    eprintln!(
+        "nbench: {} ops/thread, prefill {}, threads {:?}, batch {}{}",
+        cfg.ops_per_thread,
+        cfg.prefill,
+        cfg.threads,
+        cfg.unlink_batch,
+        if cfg.baseline_only {
+            ", baseline only"
+        } else {
+            ""
+        }
+    );
+    let results = run_all(&cfg, |r| {
+        eprintln!(
+            "  {:<13} t={:<3} {:<8} {:>12.0} ops/s  (delete_min p50 {} ns, p99 {} ns)",
+            r.workload.name(),
+            r.threads,
+            r.mode,
+            r.throughput(),
+            r.delete_latency.percentile(50.0),
+            r.delete_latency.percentile(99.0),
+        );
+    });
+    let report = render_report(&cfg, &results);
+    if let Err(e) = std::fs::write(&out_path, &report) {
+        eprintln!("nbench: cannot write {out_path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    eprintln!("nbench: wrote {out_path} ({} runs)", results.len());
+    ExitCode::SUCCESS
+}
+
+fn parse_num(s: &str) -> u64 {
+    s.trim()
+        .replace('_', "")
+        .parse()
+        .unwrap_or_else(|_| usage())
+}
+
+fn usage_missing(flag: &str) -> String {
+    eprintln!("nbench: {flag} needs a value");
+    usage();
+}

@@ -16,6 +16,8 @@
 //! | SkipQueue (relaxed)| [`histcheck::History::check_integrity`] must be clean; claims of still-in-flight inserts (condition 4) are *expected* and reported as [`ScheduleOutcome::relaxation_evidence`] |
 //! | Hunt et al. heap   | [`histcheck::History::check_integrity`] |
 //! | FunnelList         | [`histcheck::History::check_strict`]    |
+//! | SkipQueue (strict, batched unlink) | same as strict — batching defers *physical* removal only, so Definition 1 must survive every schedule |
+//! | SkipQueue (relaxed, batched unlink)| same as relaxed |
 //!
 //! Everything is a pure function of the [`ScheduleConfig`]: re-running a
 //! failing seed replays the exact schedule, bug included. The `schedtest`
@@ -38,15 +40,29 @@ pub enum QueueUnderTest {
     HuntHeap,
     /// The combining-funnel sorted list.
     FunnelList,
+    /// The strict SkipQueue with batched physical unlinking enabled
+    /// (threshold [`BATCHED_UNLINK_THRESHOLD`]) — the simulated mirror of
+    /// the native queue's deferred-deletion optimization. Must satisfy the
+    /// same Definition-1 contract as [`QueueUnderTest::SkipQueueStrict`].
+    SkipQueueStrictBatched,
+    /// The relaxed SkipQueue with batched physical unlinking enabled.
+    SkipQueueRelaxedBatched,
 }
 
+/// Unlink-batch threshold used for the batched SkipQueue variants. Small
+/// on purpose: schedules run a few hundred operations, and the cleaner
+/// must fire many times per run for its interleavings to be explored.
+pub const BATCHED_UNLINK_THRESHOLD: usize = 8;
+
 impl QueueUnderTest {
-    /// All four queues, in reporting order.
-    pub const ALL: [QueueUnderTest; 4] = [
+    /// All six queues, in reporting order.
+    pub const ALL: [QueueUnderTest; 6] = [
         QueueUnderTest::SkipQueueStrict,
         QueueUnderTest::SkipQueueRelaxed,
         QueueUnderTest::HuntHeap,
         QueueUnderTest::FunnelList,
+        QueueUnderTest::SkipQueueStrictBatched,
+        QueueUnderTest::SkipQueueRelaxedBatched,
     ];
 
     /// Stable command-line name.
@@ -56,6 +72,8 @@ impl QueueUnderTest {
             QueueUnderTest::SkipQueueRelaxed => "relaxed",
             QueueUnderTest::HuntHeap => "heap",
             QueueUnderTest::FunnelList => "funnel",
+            QueueUnderTest::SkipQueueStrictBatched => "strict-batched",
+            QueueUnderTest::SkipQueueRelaxedBatched => "relaxed-batched",
         }
     }
 
@@ -232,8 +250,10 @@ fn spawn_workers(sim: &mut Sim, cfg: &ScheduleConfig, handle: QueueHandle) {
 /// `(contract_violations, relaxation_evidence)`; see [`ScheduleOutcome`].
 pub fn audit(queue: QueueUnderTest, history: &History) -> (Vec<Violation>, Vec<Violation>) {
     match queue {
-        QueueUnderTest::SkipQueueStrict => (history.check_strict(), Vec::new()),
-        QueueUnderTest::SkipQueueRelaxed => {
+        QueueUnderTest::SkipQueueStrict | QueueUnderTest::SkipQueueStrictBatched => {
+            (history.check_strict(), Vec::new())
+        }
+        QueueUnderTest::SkipQueueRelaxed | QueueUnderTest::SkipQueueRelaxedBatched => {
             let integrity = history.check_integrity();
             // The relaxed tap stamps delete-mins at their claim SWAP, so a
             // condition-4 hit proves the claimed node's insert had not
@@ -288,6 +308,16 @@ pub fn run_schedule(cfg: &ScheduleConfig) -> ScheduleOutcome {
         }
         QueueUnderTest::FunnelList => QueueHandle::Funnel(
             SimFunnelList::create(&sim, (cfg.nproc / 2).max(1), 2).with_tap(tap.clone()),
+        ),
+        QueueUnderTest::SkipQueueStrictBatched => QueueHandle::Skip(
+            SimSkipQueue::create(&sim, 12, true)
+                .with_batched_unlink(&sim, BATCHED_UNLINK_THRESHOLD)
+                .with_tap(tap.clone()),
+        ),
+        QueueUnderTest::SkipQueueRelaxedBatched => QueueHandle::Skip(
+            SimSkipQueue::create(&sim, 12, false)
+                .with_batched_unlink(&sim, BATCHED_UNLINK_THRESHOLD)
+                .with_tap(tap.clone()),
         ),
     };
     spawn_workers(&mut sim, cfg, handle);
@@ -374,6 +404,19 @@ mod tests {
         assert!(c0.faults.is_inert() && c1.faults.is_inert() && c2.faults.is_inert());
         assert!(!c3.faults.is_inert());
         assert!(c3.faults.stall.is_some());
+    }
+
+    #[test]
+    fn batched_schedule_runs_and_audits_clean() {
+        for queue in [
+            QueueUnderTest::SkipQueueStrictBatched,
+            QueueUnderTest::SkipQueueRelaxedBatched,
+        ] {
+            let cfg = ScheduleConfig::new(queue, Workload::FillThenDrain, 11);
+            let out = run_schedule(&cfg);
+            assert!(!out.history.is_empty());
+            assert!(out.violations.is_empty(), "{queue:?}: {:?}", out.violations);
+        }
     }
 
     #[test]

@@ -7,7 +7,8 @@
 //!
 //! ```text
 //! schedtest [--schedules N] [--base-seed S]
-//!           [--queues strict,relaxed,heap,funnel] [--workloads mixed,fill-drain]
+//!           [--queues strict,relaxed,heap,funnel,strict-batched,relaxed-batched]
+//!           [--workloads mixed,fill-drain]
 //!           [--expect-evidence]
 //! schedtest --replay SEED --queue strict --workload mixed
 //! ```
@@ -36,7 +37,8 @@ fn usage() -> ! {
         "usage: schedtest [--schedules N] [--base-seed S] [--queues LIST] \
          [--workloads LIST] [--expect-evidence]\n\
          \x20      schedtest --replay SEED --queue NAME --workload NAME\n\
-         queues: strict relaxed heap funnel   workloads: mixed fill-drain"
+         queues: strict relaxed heap funnel strict-batched relaxed-batched\n\
+         workloads: mixed fill-drain"
     );
     std::process::exit(2);
 }
@@ -178,7 +180,10 @@ fn main() -> ExitCode {
                 workload.name(),
                 args.schedules,
             );
-            if *queue == QueueUnderTest::SkipQueueRelaxed {
+            if matches!(
+                queue,
+                QueueUnderTest::SkipQueueRelaxed | QueueUnderTest::SkipQueueRelaxedBatched
+            ) {
                 line.push_str(&format!(" relaxation-evidence={evidence}"));
                 if let Some(s) = evidence_seed {
                     line.push_str(&format!(" (first at seed {s})"));
@@ -190,7 +195,10 @@ fn main() -> ExitCode {
     }
 
     if args.expect_evidence
-        && args.queues.contains(&QueueUnderTest::SkipQueueRelaxed)
+        && (args.queues.contains(&QueueUnderTest::SkipQueueRelaxed)
+            || args
+                .queues
+                .contains(&QueueUnderTest::SkipQueueRelaxedBatched))
         && relaxed_evidence_total == 0
     {
         println!(

@@ -94,6 +94,16 @@ pub struct SimSkipQueue {
     /// `getTime()` read); relaxed mode stamps at operation boundaries.
     /// See [`crate::tap`].
     tap: Option<HistoryTap>,
+    /// Claimed-node count that triggers a batched physical delete; 0 = the
+    /// paper's eager per-delete unlink (see [`Self::with_batched_unlink`]).
+    unlink_batch: usize,
+    /// Host-side list of claimed-but-still-linked node addresses (mirror of
+    /// the native `deferred` counter plus the batch the cleaner collects).
+    deferred: Rc<RefCell<Vec<Addr>>>,
+    /// `[cleaner-flag, scan-hint, epoch]` words; `NULL` until
+    /// `with_batched_unlink` allocates them, so the default configuration's
+    /// simulated address layout is untouched.
+    batch_words: Addr,
 }
 
 impl SimSkipQueue {
@@ -135,7 +145,36 @@ impl SimSkipQueue {
             garbage: Rc::new(RefCell::new(Vec::new())),
             stats: Rc::new(RefCell::new(SkipQueueStats::default())),
             tap: None,
+            unlink_batch: 0,
+            deferred: Rc::new(RefCell::new(Vec::new())),
+            batch_words: NULL,
         }
+    }
+
+    /// Mirrors the native queue's batched physical deletion (see
+    /// `skipqueue::SkipQueue::with_unlink_batch`) on the simulated machine:
+    /// a claimed node stays linked until `threshold` claims accumulate, then
+    /// one processor (guarded by a SWAP try-lock) unlinks the whole batch
+    /// with a single hand-over-hand sweep per level and publishes a
+    /// bottom-level scan hint. Allocates three bookkeeping words; the
+    /// default (eager) configuration allocates nothing, so its address
+    /// layout — and therefore every existing figure — is bit-identical.
+    pub fn with_batched_unlink(mut self, sim: &Sim, threshold: usize) -> Self {
+        assert!(threshold > 0, "use the default for eager unlinking");
+        let m = sim.machine();
+        let mut m = m.borrow_mut();
+        let words = m.mem.alloc(3, 0);
+        m.mem.poke(words, 0); // cleaner flag: 0 = free
+        m.mem.poke(words + 1, Word::from(NULL)); // scan hint: NULL = head
+        m.mem.poke(words + 2, 0); // epoch
+        self.batch_words = words;
+        self.unlink_batch = threshold;
+        self
+    }
+
+    /// Whether batched physical deletion is active (tests/diagnostics).
+    pub fn is_batched(&self) -> bool {
+        self.unlink_batch != 0
     }
 
     /// Attaches a history tap; every subsequent insert / delete-min is
@@ -330,6 +369,21 @@ impl SimSkipQueue {
         }
         p.release(node_lock).await;
 
+        if self.unlink_batch != 0 {
+            // Batched mode, ordered before the time stamp: announce that a
+            // link completed (SWAP of a unique value — the node address —
+            // so the cleaner's unchanged-epoch check can never alias), then
+            // repair the scan hint if it already points past the new node.
+            p.swap(self.batch_words + 2, Word::from(node)).await;
+            let hint = p.read(self.batch_words + 1).await as Addr;
+            if hint != NULL && hint != node {
+                let hk = p.read(hint + KEY).await;
+                if hk > key {
+                    p.write(self.batch_words + 1, Word::from(NULL)).await;
+                }
+            }
+        }
+
         // Line 29: stamp only after the node is completely inserted.
         if self.strict {
             let t = p.read_clock().await;
@@ -370,10 +424,27 @@ impl SimSkipQueue {
         let mut invoked = if self.strict { time } else { op_start };
 
         // Lines 2–10: walk the bottom level, SWAP-claiming the first
-        // unmarked node that was inserted before we began.
-        let mut node1 = p.read(next_addr(self.head, 0)).await as Addr;
+        // unmarked node that was inserted before we began. Batched mode
+        // starts the walk at the published scan hint (everything physically
+        // before it is already claimed) and test-and-test-and-sets the mark
+        // so walking over a lingering claimed node costs a read, not a SWAP.
+        let mut node1 = if self.unlink_batch != 0 {
+            let hint = p.read(self.batch_words + 1).await as Addr;
+            if hint != NULL {
+                hint
+            } else {
+                p.read(next_addr(self.head, 0)).await as Addr
+            }
+        } else {
+            p.read(next_addr(self.head, 0)).await as Addr
+        };
         let victim = loop {
             if node1 == self.tail {
+                if self.unlink_batch != 0 && !self.deferred.borrow().is_empty() {
+                    // EMPTY with claimed nodes still linked: sweep now so an
+                    // idle queue does not hold its final batch forever.
+                    self.cleanup_batch(p).await;
+                }
                 self.register_exit(p).await;
                 if let Some(tap) = &self.tap {
                     tap.record_delete(None, invoked, p.now());
@@ -385,7 +456,7 @@ impl SimSkipQueue {
             } else {
                 true
             };
-            if eligible {
+            if eligible && (self.unlink_batch == 0 || p.read(node1 + DELETED).await == 0) {
                 let marked = p.swap(node1 + DELETED, 1).await;
                 if marked == 0 {
                     if !self.strict {
@@ -400,6 +471,27 @@ impl SimSkipQueue {
         // Lines 11–13: save the value and key.
         let value = p.read(victim + VALUE).await;
         let key = p.read(victim + KEY).await;
+
+        if self.unlink_batch != 0 {
+            // Deferred physical delete: leave the marked node linked, queue
+            // it for the next batch sweep (host-side list, like the paper's
+            // out-of-machine instrumentation), and sweep once enough claims
+            // have accumulated.
+            p.work(8);
+            let pending = {
+                let mut d = self.deferred.borrow_mut();
+                d.push(victim);
+                d.len()
+            };
+            if pending >= self.unlink_batch {
+                self.cleanup_batch(p).await;
+            }
+            self.register_exit(p).await;
+            if let Some(tap) = &self.tap {
+                tap.record_delete(Some(value), invoked, p.now());
+            }
+            return Some((key, value));
+        }
 
         // Lines 15–22: find the predecessors at every level.
         let saved = self.search(p, key).await;
@@ -444,6 +536,106 @@ impl SimSkipQueue {
             tap.record_delete(Some(value), invoked, p.now());
         }
         Some((key, value))
+    }
+
+    /// Batched physical delete (mirror of the native cleaner): collect the
+    /// contiguous marked prefix of the bottom level, unlink it with one
+    /// hand-over-hand sweep per level (top-down, two locks per level),
+    /// publish the scan hint, and push the whole batch to the garbage list.
+    ///
+    /// Guarded by a SWAP try-lock on `batch_words[0]`: losers return at
+    /// once, so the claim fast path never blocks here.
+    async fn cleanup_batch(&self, p: &Proc) {
+        if p.swap(self.batch_words, 1).await != 0 {
+            return; // another processor is already sweeping
+        }
+        // Epoch snapshot: publish the hint below only if no insert finished
+        // linking while we swept (each insert SWAPs its unique node address
+        // into the epoch word, so "unchanged" really means "no insert").
+        let v1 = p.read(self.batch_words + 2).await;
+        // Phase 1: collect the marked prefix. The node-lock handshake waits
+        // out an insert whose upper levels are still being connected (a
+        // relaxed-mode claim can land mid-insert).
+        let mut batch: Vec<Addr> = Vec::new();
+        let mut heights: Vec<usize> = Vec::new();
+        let mut cur = p.read(next_addr(self.head, 0)).await as Addr;
+        let stop = loop {
+            if cur == self.tail || batch.len() >= self.unlink_batch * 4 {
+                break cur;
+            }
+            if p.read(cur + DELETED).await == 0 {
+                break cur;
+            }
+            let nl = self.node_lock(p, cur);
+            p.acquire(nl).await;
+            p.release(nl).await;
+            heights.push(p.read(cur + LEVEL).await as usize);
+            batch.push(cur);
+            cur = p.read(next_addr(cur, 0)).await as Addr;
+        };
+        if batch.is_empty() {
+            p.write(self.batch_words, 0).await;
+            return;
+        }
+        let members: std::collections::HashSet<Addr> = batch.iter().copied().collect();
+        // Phase 2: per-level membership counts (host arithmetic, free).
+        let mut level_counts = vec![0usize; self.max_level];
+        for &h in &heights {
+            for c in level_counts.iter_mut().take(h) {
+                *c += 1;
+            }
+        }
+        // Phase 3: top-down counting sweep — one hand-over-hand pass per
+        // level from the head; members are unlinked under the usual two
+        // locks with the backward pointer left for concurrent traversals.
+        for lvl in (0..self.max_level).rev() {
+            let mut remaining = level_counts[lvl];
+            if remaining == 0 {
+                continue;
+            }
+            let mut pred = self.head;
+            p.acquire(self.level_lock(p, pred, lvl)).await;
+            while remaining > 0 {
+                let cur = p.read(next_addr(pred, lvl)).await as Addr;
+                debug_assert_ne!(cur, self.tail, "batch member lost at level {lvl}");
+                if members.contains(&cur) {
+                    p.acquire(self.level_lock(p, cur, lvl)).await;
+                    let nxt = p.read(next_addr(cur, lvl)).await;
+                    p.write(next_addr(pred, lvl), nxt).await;
+                    p.write(next_addr(cur, lvl), Word::from(pred)).await;
+                    p.release(self.level_lock(p, cur, lvl)).await;
+                    remaining -= 1;
+                } else {
+                    p.acquire(self.level_lock(p, cur, lvl)).await;
+                    p.release(self.level_lock(p, pred, lvl)).await;
+                    pred = cur;
+                }
+            }
+            p.release(self.level_lock(p, pred, lvl)).await;
+        }
+        // Phase 4: publish the scan hint — only if no insert completed
+        // since `v1`, re-checked after the store (a racing insert repairs
+        // or we roll back; either way no completed insert is hidden).
+        if p.read(self.batch_words + 2).await == v1 {
+            p.write(self.batch_words + 1, Word::from(stop)).await;
+            if p.read(self.batch_words + 2).await != v1 {
+                p.write(self.batch_words + 1, Word::from(NULL)).await;
+            }
+        }
+        // Phase 5: drop the batch from the deferred list and hand it to the
+        // garbage lists, stamped with the sweep-completion time (§3 rule:
+        // free only past the quiescence horizon).
+        p.work(8 * batch.len() as u64);
+        self.deferred.borrow_mut().retain(|a| !members.contains(a));
+        {
+            let now = p.now();
+            let mut g = self.garbage.borrow_mut();
+            for (&node, &h) in batch.iter().zip(heights.iter()) {
+                g.push((node, node_words(h), now));
+            }
+        }
+        self.stats.borrow_mut().retired += batch.len() as u64;
+        p.write(self.batch_words, 0).await;
     }
 
     /// The paper's §3 dedicated garbage-collection processor.
@@ -550,11 +742,14 @@ impl SimSkipQueue {
     }
 
     /// Out-of-band structural check: every level sorted, marked nodes
-    /// absent, bottom-level count returned. For quiescent states (tests).
+    /// absent (batched mode: marked nodes allowed but must match the
+    /// deferred list), bottom-level count of *live* nodes returned. For
+    /// quiescent states (tests).
     pub fn check_invariants(&self, sim: &Sim) -> usize {
         let m = sim.machine();
         let m = m.borrow();
         let mut count = 0;
+        let mut marked = 0usize;
         for lvl in (0..self.max_level).rev() {
             let mut prev_key = KEY_NEG_INF;
             let mut cur = m.mem.peek(next_addr(self.head, lvl)) as Addr;
@@ -565,11 +760,12 @@ impl SimSkipQueue {
                     (m.mem.peek(cur + LEVEL) as usize) > lvl,
                     "node linked above its height"
                 );
-                assert_eq!(
-                    m.mem.peek(cur + DELETED),
-                    0,
-                    "marked node still linked (quiescent)"
-                );
+                if m.mem.peek(cur + DELETED) != 0 {
+                    assert_ne!(self.unlink_batch, 0, "marked node still linked (quiescent)");
+                    if lvl == 0 {
+                        marked += 1;
+                    }
+                }
                 prev_key = k;
                 cur = m.mem.peek(next_addr(cur, lvl)) as Addr;
                 assert_ne!(cur, NULL, "broken chain at level {lvl}");
@@ -577,22 +773,33 @@ impl SimSkipQueue {
             if lvl == 0 {
                 let mut c = m.mem.peek(next_addr(self.head, 0)) as Addr;
                 while c != self.tail {
-                    count += 1;
+                    if m.mem.peek(c + DELETED) == 0 {
+                        count += 1;
+                    }
                     c = m.mem.peek(next_addr(c, 0)) as Addr;
                 }
             }
         }
+        assert_eq!(
+            marked,
+            self.deferred.borrow().len(),
+            "deferred list out of sync with marked nodes"
+        );
         count
     }
 
-    /// Out-of-band drain of all keys in bottom-level order (tests).
+    /// Out-of-band drain of all *live* keys in bottom-level order (tests).
+    /// Batched mode skips claimed-but-still-linked nodes: they are already
+    /// logically deleted.
     pub fn keys_in_order(&self, sim: &Sim) -> Vec<u64> {
         let m = sim.machine();
         let m = m.borrow();
         let mut out = Vec::new();
         let mut cur = m.mem.peek(next_addr(self.head, 0)) as Addr;
         while cur != self.tail {
-            out.push(m.mem.peek(cur + KEY));
+            if m.mem.peek(cur + DELETED) == 0 {
+                out.push(m.mem.peek(cur + KEY));
+            }
             cur = m.mem.peek(next_addr(cur, 0)) as Addr;
         }
         out
@@ -613,6 +820,9 @@ impl Clone for SimSkipQueue {
             garbage: Rc::clone(&self.garbage),
             stats: Rc::clone(&self.stats),
             tap: self.tap.clone(),
+            unlink_batch: self.unlink_batch,
+            deferred: Rc::clone(&self.deferred),
+            batch_words: self.batch_words,
         }
     }
 }
@@ -880,6 +1090,164 @@ mod tests {
         // Same logical outcome either way.
         assert_eq!(a.insert.count + a.delete.count, 2_000);
         assert_eq!(b.insert.count + b.delete.count, 2_000);
+    }
+
+    #[test]
+    fn batched_single_proc_ordering() {
+        let mut sim = new_sim(1);
+        let q = SimSkipQueue::create(&sim, 8, true).with_batched_unlink(&sim, 3);
+        assert!(q.is_batched());
+        let out = sim.alloc_shared(8);
+        let q2 = q.clone();
+        sim.spawn(move |p| async move {
+            for k in [5u64, 2, 9, 1, 7, 4, 8, 3] {
+                q2.insert(&p, k, k * 10).await;
+            }
+            for i in 0..8u32 {
+                let (k, _) = q2.delete_min(&p).await.unwrap();
+                p.write(out + i, k).await;
+            }
+            assert!(q2.delete_min(&p).await.is_none());
+        });
+        sim.run();
+        let keys: Vec<u64> = (0..8).map(|i| sim.read_word(out + i)).collect();
+        assert_eq!(keys, vec![1, 2, 3, 4, 5, 7, 8, 9]);
+        assert_eq!(q.check_invariants(&sim), 0);
+        assert_eq!(q.stats().retired, 8, "every claim eventually retired");
+    }
+
+    #[test]
+    fn batched_concurrent_mixed_no_duplicates_no_losses() {
+        let mut sim = new_sim(8);
+        let q = SimSkipQueue::create(&sim, 12, true).with_batched_unlink(&sim, 4);
+        let deleted = sim.alloc_shared(8 * 64);
+        let dcount = sim.alloc_shared(8);
+        for t in 0..8u32 {
+            let q2 = q.clone();
+            sim.spawn(move |p| async move {
+                let mut mine = 0u32;
+                for i in 0..32u64 {
+                    q2.insert(&p, 1 + u64::from(t) + 8 * i, 7).await;
+                    p.work(30);
+                    if i % 2 == 1 {
+                        if let Some((k, _)) = q2.delete_min(&p).await {
+                            p.write(deleted + t * 64 + mine, k).await;
+                            mine += 1;
+                        }
+                    }
+                }
+                p.write(dcount + t, u64::from(mine)).await;
+            });
+        }
+        sim.run();
+        let mut got = Vec::new();
+        for t in 0..8u32 {
+            let c = sim.read_word(dcount + t) as u32;
+            for i in 0..c {
+                got.push(sim.read_word(deleted + t * 64 + i));
+            }
+        }
+        let remaining = q.keys_in_order(&sim);
+        assert_eq!(got.len() + remaining.len(), 8 * 32, "conservation");
+        let mut all: Vec<u64> = got.iter().chain(remaining.iter()).copied().collect();
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), 8 * 32, "no duplicates");
+        q.check_invariants(&sim);
+    }
+
+    #[test]
+    fn batched_hint_never_hides_completed_insert() {
+        // Build a claimed prefix so a hint is published past key 100, then
+        // alternate small-key inserts with delete-mins: strict Definition 1
+        // requires every completed insert to be the next minimum returned.
+        let mut sim = new_sim(1);
+        let q = SimSkipQueue::create(&sim, 8, true).with_batched_unlink(&sim, 2);
+        let out = sim.alloc_shared(20);
+        let q2 = q.clone();
+        sim.spawn(move |p| async move {
+            for k in 100..110u64 {
+                q2.insert(&p, k, 0).await;
+            }
+            for _ in 0..6 {
+                q2.delete_min(&p).await.unwrap();
+            }
+            for (i, k) in (1..=20u64).enumerate() {
+                q2.insert(&p, k, 0).await;
+                let (got, _) = q2.delete_min(&p).await.unwrap();
+                p.write(out + i as u32, got).await;
+            }
+        });
+        sim.run();
+        for (i, k) in (1..=20u64).enumerate() {
+            assert_eq!(
+                sim.read_word(out + i as u32),
+                k,
+                "hint hid a completed insert"
+            );
+        }
+    }
+
+    #[test]
+    fn batched_default_config_layout_untouched() {
+        // The knob must be invisible when off: identical seeds with and
+        // without the (unused) batched code paths give identical traces.
+        fn run(batched: bool) -> (Vec<u64>, u64) {
+            let mut sim = Sim::new(SimConfig::new(4).with_seed(77));
+            let q = if batched {
+                SimSkipQueue::create(&sim, 10, true)
+            } else {
+                SimSkipQueue::create(&sim, 10, true)
+            };
+            assert!(!q.is_batched());
+            for t in 0..4u64 {
+                let q2 = q.clone();
+                sim.spawn(move |p| async move {
+                    for _ in 0..24u64 {
+                        let key = 1 + p.gen_range_u64(1 << 30);
+                        q2.insert(&p, key, t).await;
+                        p.work(p.gen_range_u64(150));
+                        if p.coin(0.4) {
+                            q2.delete_min(&p).await;
+                        }
+                    }
+                });
+            }
+            let r = sim.run();
+            (q.keys_in_order(&sim), r.final_time)
+        }
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn batched_collector_reclaims_swept_nodes() {
+        let mut sim = new_sim(3); // 2 workers + 1 collector
+        let q = SimSkipQueue::create(&sim, 8, true).with_batched_unlink(&sim, 4);
+        let done = Rc::new(std::cell::Cell::new(0u32));
+        let freed = Rc::new(std::cell::Cell::new(0u64));
+        for t in 0..2u64 {
+            let q2 = q.clone();
+            let done = Rc::clone(&done);
+            sim.spawn(move |p| async move {
+                for i in 0..50u64 {
+                    q2.insert(&p, 1 + t + 2 * i, t).await;
+                    p.work(40);
+                    q2.delete_min(&p).await;
+                }
+                done.set(done.get() + 1);
+            });
+        }
+        {
+            let q2 = q.clone();
+            let done = Rc::clone(&done);
+            let freed2 = Rc::clone(&freed);
+            sim.spawn_on(2, move |p| async move {
+                freed2.set(q2.run_collector(&p, done, 2).await);
+            });
+        }
+        sim.run();
+        assert_eq!(q.garbage_len(), 0, "collector drains all garbage");
+        assert_eq!(freed.get(), q.stats().retired, "every retired node freed");
     }
 
     #[test]
