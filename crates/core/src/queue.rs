@@ -32,13 +32,14 @@
 //! sequence numbering, and timestamp placement are identical to the eager
 //! path, so strict-mode semantics are preserved bit for bit.
 //!
-//! Batching widens a window the eager path already has: a claimed node's
+//! Batching widens a window the eager path does not have: a claimed node's
 //! key stays comparable-by-reference until the node is reclaimed, after
 //! the winning deleter has moved the key out. Keys must therefore order
 //! correctly on a bitwise copy whose original has been dropped — true for
 //! every `Copy`/scalar key (the paper's queues only ever hold integer
-//! priorities). Heap-owning keys (`String`, `Vec<u8>`, …) must stick to
-//! the eager default.
+//! priorities), but undefined behaviour for heap-owning keys (`String`,
+//! `Vec<u8>`, …). The batched constructors carry a `K: Copy` bound so the
+//! type system enforces this; heap-owning keys get the eager default.
 //!
 //! Locking invariant: a node's `levels[i].next` is only written while
 //! holding that node's `levels[i].lock`; reads are lock-free (`Acquire`).
@@ -48,7 +49,7 @@
 
 use std::cell::Cell;
 use std::mem::ManuallyDrop;
-use std::sync::atomic::{AtomicPtr, AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicIsize, AtomicPtr, AtomicU64, AtomicUsize, Ordering};
 
 use crossbeam_utils::CachePadded;
 use parking_lot::lock_api::RawMutex as RawMutexApi;
@@ -85,7 +86,12 @@ pub struct SkipQueue<K, V> {
     seq: CachePadded<AtomicU64>,
     len: CachePadded<AtomicUsize>,
     /// Claimed-but-still-linked nodes awaiting a batched physical delete.
-    deferred: CachePadded<AtomicUsize>,
+    /// Signed because a claimer marks its node (making it collectible)
+    /// *before* counting it here, so a concurrent sweep can subtract a
+    /// batch member ahead of its claimer's increment — the counter dips
+    /// transiently negative and settles once the increment lands. It is
+    /// only a threshold heuristic; exactness is asserted at quiescence.
+    deferred: CachePadded<AtomicIsize>,
     /// Serializes batched cleanups. Only ever `try_lock`ed: the fast path
     /// skips cleanup when another thread is already sweeping.
     cleaner: CachePadded<RawMutex>,
@@ -192,7 +198,7 @@ impl<K: Ord, V> SkipQueue<K, V> {
             clock: TimestampClock::new(),
             seq: CachePadded::new(AtomicU64::new(0)),
             len: CachePadded::new(AtomicUsize::new(0)),
-            deferred: CachePadded::new(AtomicUsize::new(0)),
+            deferred: CachePadded::new(AtomicIsize::new(0)),
             cleaner: CachePadded::new(RawMutex::INIT),
             front: CachePadded::new(AtomicPtr::new(std::ptr::null_mut())),
             front_epoch: CachePadded::new(AtomicU64::new(0)),
@@ -202,29 +208,6 @@ impl<K: Ord, V> SkipQueue<K, V> {
             unlink_batch: 0,
             gc: Collector::new(max_threads),
         }
-    }
-
-    /// Switches physical deletion to the deferred, batched scheme (see the
-    /// [module docs](self)): a claimed node stays linked until `threshold`
-    /// claims have accumulated, then one thread unlinks the whole claimed
-    /// prefix in a single sweep and retires it as a group. `threshold = 0`
-    /// restores the paper's eager per-delete unlink.
-    ///
-    /// Strict-mode ordering (Definition 1) is preserved exactly. The one
-    /// contract change: keys must order correctly when compared through a
-    /// bitwise copy after the original has been moved out and dropped —
-    /// every `Copy`/scalar key qualifies; heap-owning keys do not (see the
-    /// module docs).
-    #[must_use]
-    pub fn with_unlink_batch(mut self, threshold: usize) -> Self {
-        self.unlink_batch = threshold;
-        self
-    }
-
-    /// Strict queue with batched physical deletion at the default
-    /// threshold ([`DEFAULT_UNLINK_BATCH`]).
-    pub fn new_batched() -> Self {
-        Self::new().with_unlink_batch(DEFAULT_UNLINK_BATCH)
     }
 
     /// Approximate number of items (exact when no operations are in flight).
@@ -446,7 +429,7 @@ impl<K: Ord, V> SkipQueue<K, V> {
                     .take()
                     .expect("claimed node has a value");
                 let key = (*claimed).take_key();
-                if self.deferred.fetch_add(1, Ordering::AcqRel) + 1 >= self.unlink_batch {
+                if self.deferred.fetch_add(1, Ordering::AcqRel) + 1 >= self.unlink_batch as isize {
                     self.cleanup(&guard);
                 }
                 Some((key, value))
@@ -550,14 +533,22 @@ impl<K: Ord, V> SkipQueue<K, V> {
             // roll back so a racing insert can never be hidden. Must happen
             // *before* the batch is retired (Phase 5) — that order is what
             // makes dereferencing a loaded hint safe (see `front` docs).
+            // On either abort path the hint is *cleared*, not merely left
+            // alone: the previously published hint may name a node that this
+            // sweep collected (the old `stop` can be claimed and re-swept),
+            // and leaving it in place across Phase 5 would dangle. Inserts
+            // only ever write null here, so the clear never hides anything —
+            // it just costs the next scan a walk from `head.next(0)`.
             if self.front_epoch.load(Ordering::SeqCst) == v1 {
                 self.front.store(stop, Ordering::SeqCst);
                 if self.front_epoch.load(Ordering::SeqCst) != v1 {
                     self.front.store(std::ptr::null_mut(), Ordering::SeqCst);
                 }
+            } else {
+                self.front.store(std::ptr::null_mut(), Ordering::SeqCst);
             }
             // Phase 5: hand the whole batch to the collector in one shot.
-            self.deferred.fetch_sub(batch.len(), Ordering::AcqRel);
+            self.deferred.fetch_sub(batch.len() as isize, Ordering::AcqRel);
             self.gc.retire_batch(guard, batch);
             self.cleaner.unlock();
         }
@@ -645,7 +636,7 @@ impl<K: Ord, V> SkipQueue<K, V> {
             }
             assert_eq!(live, self.len(), "len out of sync with bottom level");
             assert_eq!(
-                marked,
+                marked as isize,
                 self.deferred.load(Ordering::Relaxed),
                 "deferred counter out of sync with marked nodes"
             );
@@ -660,6 +651,32 @@ impl<K: Ord, V> SkipQueue<K, V> {
     /// Number of retired nodes not yet freed (diagnostics).
     pub fn garbage_pending(&self) -> usize {
         self.gc.pending()
+    }
+}
+
+impl<K: Ord + Copy, V> SkipQueue<K, V> {
+    /// Switches physical deletion to the deferred, batched scheme (see the
+    /// [module docs](self)): a claimed node stays linked until `threshold`
+    /// claims have accumulated, then one thread unlinks the whole claimed
+    /// prefix in a single sweep and retires it as a group. `threshold = 0`
+    /// restores the paper's eager per-delete unlink.
+    ///
+    /// Strict-mode ordering (Definition 1) is preserved exactly. Batched
+    /// mode compares a claimed node's key through a bitwise copy after the
+    /// winning deleter has moved the original out, so keys are required to
+    /// be `Copy` — the bound is what keeps heap-owning keys (`String`,
+    /// `Vec<u8>`, …) on the eager default, where the same window never
+    /// reaches a dropped key (see the module docs).
+    #[must_use]
+    pub fn with_unlink_batch(mut self, threshold: usize) -> Self {
+        self.unlink_batch = threshold;
+        self
+    }
+
+    /// Strict queue with batched physical deletion at the default
+    /// threshold ([`DEFAULT_UNLINK_BATCH`]).
+    pub fn new_batched() -> Self {
+        Self::new().with_unlink_batch(DEFAULT_UNLINK_BATCH)
     }
 }
 

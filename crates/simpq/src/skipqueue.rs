@@ -615,12 +615,19 @@ impl SimSkipQueue {
         }
         // Phase 4: publish the scan hint — only if no insert completed
         // since `v1`, re-checked after the store (a racing insert repairs
-        // or we roll back; either way no completed insert is hidden).
+        // or we roll back; either way no completed insert is hidden). Both
+        // abort paths *clear* the hint rather than leave it alone: the
+        // previously published hint may name a node this sweep collected,
+        // and leaving it in place across Phase 5 would point scans at a
+        // garbage-listed node once its words are reused. Inserts only ever
+        // write NULL here, so clearing never hides a completed insert.
         if p.read(self.batch_words + 2).await == v1 {
             p.write(self.batch_words + 1, Word::from(stop)).await;
             if p.read(self.batch_words + 2).await != v1 {
                 p.write(self.batch_words + 1, Word::from(NULL)).await;
             }
+        } else {
+            p.write(self.batch_words + 1, Word::from(NULL)).await;
         }
         // Phase 5: drop the batch from the deferred list and hand it to the
         // garbage lists, stamped with the sweep-completion time (§3 rule:
