@@ -548,7 +548,8 @@ impl<K: Ord, V> SkipQueue<K, V> {
                 self.front.store(std::ptr::null_mut(), Ordering::SeqCst);
             }
             // Phase 5: hand the whole batch to the collector in one shot.
-            self.deferred.fetch_sub(batch.len() as isize, Ordering::AcqRel);
+            self.deferred
+                .fetch_sub(batch.len() as isize, Ordering::AcqRel);
             self.gc.retire_batch(guard, batch);
             self.cleaner.unlock();
         }
@@ -655,6 +656,65 @@ impl<K: Ord, V> SkipQueue<K, V> {
 }
 
 impl<K: Ord + Copy, V> SkipQueue<K, V> {
+    /// Returns a copy of the smallest unclaimed priority without claiming
+    /// it, or `None` when no unmarked node is found.
+    ///
+    /// This is the cheap front-key probe a sampling front-end (e.g. a
+    /// sharded multi-queue choosing between `c` candidate shards) needs:
+    /// one bottom-level walk, no SWAP, no locks. In batched mode the walk
+    /// starts at the published scan-start hint, so it skips the
+    /// already-claimed prefix just like `delete_min` does.
+    ///
+    /// The result is a *relaxed snapshot*: the returned key belonged to a
+    /// node that was linked and unclaimed at some instant during the call,
+    /// but a concurrent `delete_min` may claim it (or a concurrent `insert`
+    /// may link a smaller key) before the caller acts on it. Strict-mode
+    /// timestamps are deliberately ignored — a probe is not a claim, so
+    /// Definition 1 does not apply to it.
+    ///
+    /// Requires `K: Copy` for the same reason the batched constructors do:
+    /// the key bytes are read through a shared reference while a winning
+    /// deleter may concurrently move the original out.
+    pub fn peek_min_key(&self) -> Option<K> {
+        let guard = self.gc.pin();
+        // SAFETY: pinned for the whole walk; marked/unlinked nodes' forward
+        // pointers lead back into the list (the paper's backward-pointer
+        // trick), and the hint is dereferenceable under a pin (see `front`).
+        unsafe {
+            let mut node = if self.unlink_batch != 0 {
+                let hint = self.front.load(Ordering::SeqCst);
+                if hint.is_null() {
+                    (*self.head).next(0)
+                } else {
+                    hint
+                }
+            } else {
+                (*self.head).next(0)
+            };
+            let key = loop {
+                if node == self.tail {
+                    break None;
+                }
+                if !(*node).deleted.load(Ordering::Acquire) {
+                    match &(*node).key {
+                        IKey::Val(k, _) => break Some(**k),
+                        // The backward-pointer trick can land the walk on
+                        // the head: an eagerly-unlinked node's forward
+                        // pointers are redirected at its predecessors.
+                        // The head is unmarked but not claimable — step
+                        // forward again, as `delete_min`'s walk does (its
+                        // timestamp filter is what skips the head there).
+                        IKey::NegInf => {}
+                        IKey::PosInf => break None,
+                    }
+                }
+                node = (*node).next(0);
+            };
+            drop(guard);
+            key
+        }
+    }
+
     /// Switches physical deletion to the deferred, batched scheme (see the
     /// [module docs](self)): a claimed node stays linked until `threshold`
     /// claims have accumulated, then one thread unlinks the whole claimed
@@ -1128,7 +1188,7 @@ mod tests {
                             state ^= state << 13;
                             state ^= state >> 7;
                             state ^= state << 17;
-                            if state % 3 != 0 {
+                            if !state.is_multiple_of(3) {
                                 let k = (state >> 16) << 4 | t as u64; // unique per thread
                                 q.insert(k, t as u64);
                                 inserted.push(k);
@@ -1252,6 +1312,70 @@ mod tests {
         let mut q = Arc::into_inner(q).unwrap();
         q.check_invariants();
         assert_eq!(q.len(), 4 * 1_000 - 4 * 500);
+    }
+
+    #[test]
+    fn peek_min_key_eager_tracks_minimum() {
+        let q: SkipQueue<u64, u64> = SkipQueue::new();
+        assert_eq!(q.peek_min_key(), None);
+        for k in [7u64, 3, 9, 5] {
+            q.insert(k, k);
+        }
+        assert_eq!(q.peek_min_key(), Some(3));
+        q.insert(1, 1);
+        assert_eq!(q.peek_min_key(), Some(1));
+        assert_eq!(q.delete_min().map(|(k, _)| k), Some(1));
+        assert_eq!(q.peek_min_key(), Some(3));
+        // Peeking never claims: the length is untouched.
+        assert_eq!(q.len(), 4);
+        while q.delete_min().is_some() {}
+        assert_eq!(q.peek_min_key(), None);
+    }
+
+    #[test]
+    fn peek_min_key_batched_skips_claimed_prefix() {
+        // Small threshold so a sweep publishes a hint mid-test; marked
+        // nodes lingering before the sweep must be skipped either way.
+        let q: SkipQueue<u64, u64> = SkipQueue::new().with_unlink_batch(4);
+        for k in 0..20u64 {
+            q.insert(k, k);
+        }
+        for expect in 0..10u64 {
+            assert_eq!(q.peek_min_key(), Some(expect));
+            assert_eq!(q.delete_min().map(|(k, _)| k), Some(expect));
+        }
+        assert_eq!(q.peek_min_key(), Some(10));
+        // An insert in front of the hint must be visible to the probe.
+        q.insert(2, 2);
+        assert_eq!(q.peek_min_key(), Some(2));
+    }
+
+    #[test]
+    fn peek_min_key_concurrent_smoke() {
+        let q = Arc::new(SkipQueue::<u64, ()>::new_batched());
+        for k in 0..2_000u64 {
+            q.insert(k + 1, ());
+        }
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let q = Arc::clone(&q);
+                s.spawn(move || {
+                    while let Some((k, _)) = q.delete_min() {
+                        assert!(k >= 1);
+                    }
+                });
+            }
+            let q = Arc::clone(&q);
+            s.spawn(move || {
+                // Probes racing the drain must only ever see live keys.
+                loop {
+                    match q.peek_min_key() {
+                        Some(k) => assert!((1..=2_000).contains(&k)),
+                        None => break,
+                    }
+                }
+            });
+        });
     }
 
     #[test]

@@ -31,8 +31,10 @@
 #![warn(missing_docs)]
 
 pub mod exact;
+pub mod rank;
 
 pub use exact::{ExactOutcome, MAX_EXACT_DELETES};
+pub use rank::RankSummary;
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};

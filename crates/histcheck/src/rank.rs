@@ -1,0 +1,292 @@
+//! Rank-error auditing for *relaxed* priority queues.
+//!
+//! A relaxed queue (the paper's §5.4 variant, or a sharded multi-queue
+//! front-end) deliberately trades Definition 1's "return the minimum" for
+//! throughput. That trade is only an engineering win if the relaxation is
+//! *bounded*, so this module turns it into a number: for every value a
+//! `delete_min` returned, its **rank error** is how many smaller live keys
+//! existed at the instant the delete committed to it. A strict queue's
+//! history scores 0 everywhere; a sharded queue scores roughly "how far
+//! from the global minimum the sampled shard's front was".
+//!
+//! The computation replays the recorded history along its stamps:
+//!
+//! * a value becomes **live** when its insert's `responded` stamp lands;
+//! * a delete with value `v` is scored at its `invoked` stamp — the count
+//!   of live values strictly smaller than `v` — and `v` stops being live;
+//! * a stamp tie between an insert response and a delete invocation counts
+//!   the insert as preceding, mirroring [`crate::History::check_definition1`]'s
+//!   sound direction for coarse clocks.
+//!
+//! Like the rest of this crate, the result is only as meaningful as the
+//! stamps: claim-point delete stamps (the simulator's relaxed tap, or a
+//! recorder wrapping the operation tightly) give a faithful per-claim rank;
+//! loose boundary stamps still give a sound *upper bound* on how many
+//! completed smaller inserts were bypassed.
+
+use crate::{History, Op};
+
+/// Aggregate view of a history's per-delete rank errors.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct RankSummary {
+    /// Number of value-returning deletes scored.
+    pub samples: u64,
+    /// Mean rank error across the samples (0.0 when `samples == 0`).
+    pub mean: f64,
+    /// Largest observed rank error.
+    pub max: u64,
+    /// Median rank error.
+    pub p50: u64,
+    /// 99th-percentile rank error.
+    pub p99: u64,
+    /// How many deletes returned something other than the live minimum.
+    pub nonzero: u64,
+}
+
+impl RankSummary {
+    /// Summarizes a slice of per-delete rank errors.
+    pub fn from_ranks(ranks: &[u64]) -> Self {
+        if ranks.is_empty() {
+            return Self::default();
+        }
+        let mut sorted = ranks.to_vec();
+        sorted.sort_unstable();
+        let pct = |q: f64| -> u64 {
+            let idx = ((q / 100.0) * (sorted.len() - 1) as f64).round() as usize;
+            sorted[idx.min(sorted.len() - 1)]
+        };
+        Self {
+            samples: ranks.len() as u64,
+            mean: ranks.iter().sum::<u64>() as f64 / ranks.len() as f64,
+            max: *sorted.last().unwrap(),
+            p50: pct(50.0),
+            p99: pct(99.0),
+            nonzero: ranks.iter().filter(|&&r| r > 0).count() as u64,
+        }
+    }
+}
+
+/// Binary-indexed tree supporting point update / prefix sum over the
+/// compressed value domain.
+struct Fenwick {
+    tree: Vec<i64>,
+}
+
+impl Fenwick {
+    fn new(n: usize) -> Self {
+        Self {
+            tree: vec![0; n + 1],
+        }
+    }
+
+    fn add(&mut self, mut i: usize, delta: i64) {
+        i += 1;
+        while i < self.tree.len() {
+            self.tree[i] += delta;
+            i += i & i.wrapping_neg();
+        }
+    }
+
+    /// Sum over compressed indices `[0, i)`.
+    fn prefix(&self, mut i: usize) -> i64 {
+        let mut s = 0;
+        while i > 0 {
+            s += self.tree[i];
+            i -= i & i.wrapping_neg();
+        }
+        s
+    }
+}
+
+impl History {
+    /// Per-delete rank errors, in stamp order of the deletes' invocations
+    /// (see the [module docs](self) for the exact semantics). EMPTY deletes
+    /// and values never inserted are skipped — integrity problems are
+    /// [`crate::History::check_integrity`]'s job, not this one's.
+    pub fn rank_errors(&self) -> Vec<u64> {
+        // Compressed value domain: every inserted value, sorted.
+        let mut domain: Vec<u64> = self
+            .ops()
+            .iter()
+            .filter_map(|op| match op {
+                Op::Insert { value, .. } => Some(*value),
+                _ => None,
+            })
+            .collect();
+        domain.sort_unstable();
+        domain.dedup();
+        let idx_of = |v: u64| domain.binary_search(&v).ok();
+
+        // Event sweep: (stamp, kind, value); kind 0 = insert response,
+        // kind 1 = delete claim, so ties resolve insert-first.
+        let mut events: Vec<(u64, u8, u64)> = Vec::new();
+        for op in self.ops() {
+            match op {
+                Op::Insert {
+                    value, responded, ..
+                } => events.push((*responded, 0, *value)),
+                Op::DeleteMin {
+                    value: Some(v),
+                    invoked,
+                    ..
+                } => events.push((*invoked, 1, *v)),
+                Op::DeleteMin { value: None, .. } => {}
+            }
+        }
+        events.sort_by_key(|&(t, kind, _)| (t, kind));
+
+        let mut live = Fenwick::new(domain.len());
+        // Claimed before its insert-response event fired (condition-4
+        // departures): the late Add must not resurrect it.
+        let mut claimed = vec![false; domain.len()];
+        let mut present = vec![false; domain.len()];
+        let mut ranks = Vec::new();
+        for (_, kind, v) in events {
+            let Some(i) = idx_of(v) else {
+                continue; // returned-never-inserted: integrity's problem
+            };
+            if kind == 0 {
+                if !claimed[i] && !present[i] {
+                    present[i] = true;
+                    live.add(i, 1);
+                }
+            } else {
+                ranks.push(live.prefix(i) as u64);
+                if present[i] {
+                    present[i] = false;
+                    live.add(i, -1);
+                }
+                claimed[i] = true;
+            }
+        }
+        ranks
+    }
+
+    /// [`History::rank_errors`] folded into a [`RankSummary`].
+    pub fn rank_summary(&self) -> RankSummary {
+        RankSummary::from_ranks(&self.rank_errors())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ins(value: u64, invoked: u64, responded: u64) -> Op {
+        Op::Insert {
+            value,
+            invoked,
+            responded,
+        }
+    }
+
+    fn del(value: Option<u64>, invoked: u64, responded: u64) -> Op {
+        Op::DeleteMin {
+            value,
+            invoked,
+            responded,
+        }
+    }
+
+    #[test]
+    fn strict_sequential_history_scores_zero() {
+        let mut h = History::new();
+        h.push(ins(5, 1, 2));
+        h.push(ins(3, 3, 4));
+        h.push(del(Some(3), 5, 6));
+        h.push(del(Some(5), 7, 8));
+        h.push(del(None, 9, 10));
+        assert_eq!(h.rank_errors(), vec![0, 0]);
+        let s = h.rank_summary();
+        assert_eq!(s.samples, 2);
+        assert_eq!(s.mean, 0.0);
+        assert_eq!(s.nonzero, 0);
+    }
+
+    #[test]
+    fn bypassing_live_smaller_values_is_counted() {
+        let mut h = History::new();
+        h.push(ins(1, 1, 2));
+        h.push(ins(2, 3, 4));
+        h.push(ins(9, 5, 6));
+        // 9 is claimed while 1 and 2 are live: rank error 2.
+        h.push(del(Some(9), 7, 8));
+        // 2 is claimed while only 1 is live: rank error 1.
+        h.push(del(Some(2), 9, 10));
+        h.push(del(Some(1), 11, 12));
+        assert_eq!(h.rank_errors(), vec![2, 1, 0]);
+        let s = h.rank_summary();
+        assert_eq!(s.samples, 3);
+        assert_eq!(s.max, 2);
+        assert_eq!(s.nonzero, 2);
+        assert!((s.mean - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn only_completed_inserts_count_as_live() {
+        let mut h = History::new();
+        // 1's insert responds at 10, after the delete of 7 was invoked at
+        // 5: it was not live then, so the delete of 7 scores 0.
+        h.push(ins(1, 1, 10));
+        h.push(ins(7, 2, 3));
+        h.push(del(Some(7), 5, 6));
+        h.push(del(Some(1), 11, 12));
+        assert_eq!(h.rank_errors(), vec![0, 0]);
+    }
+
+    #[test]
+    fn claimed_value_stops_being_live() {
+        let mut h = History::new();
+        h.push(ins(1, 1, 2));
+        h.push(ins(5, 3, 4));
+        h.push(del(Some(1), 5, 6));
+        // 1 was already claimed when 5 is taken: rank 0, not 1.
+        h.push(del(Some(5), 7, 8));
+        assert_eq!(h.rank_errors(), vec![0, 0]);
+    }
+
+    #[test]
+    fn concurrent_claim_does_not_resurrect() {
+        let mut h = History::new();
+        // 4 is claimed (invoked 3) before its insert responds (5) — a
+        // condition-4 departure. Its late response must not re-add it.
+        h.push(ins(4, 1, 5));
+        h.push(ins(9, 2, 3));
+        h.push(del(Some(4), 3, 4));
+        // When 9 is claimed, 4 must no longer be live.
+        h.push(del(Some(9), 7, 8));
+        assert_eq!(h.rank_errors(), vec![0, 0]);
+    }
+
+    #[test]
+    fn stamp_tie_counts_insert_as_preceding() {
+        let mut h = History::new();
+        h.push(ins(1, 1, 5));
+        h.push(ins(9, 2, 3));
+        // Insert of 1 responds at the same stamp the delete of 9 is
+        // invoked: the tie counts 1 as live, rank 1.
+        h.push(del(Some(9), 5, 6));
+        h.push(del(Some(1), 7, 8));
+        assert_eq!(h.rank_errors(), vec![1, 0]);
+    }
+
+    #[test]
+    fn empty_and_uninserted_are_skipped() {
+        let mut h = History::new();
+        h.push(del(None, 1, 2));
+        h.push(del(Some(77), 3, 4)); // never inserted
+        assert!(h.rank_errors().is_empty());
+        assert_eq!(h.rank_summary(), RankSummary::default());
+    }
+
+    #[test]
+    fn summary_percentiles_over_spread_ranks() {
+        let ranks: Vec<u64> = (0..100).collect();
+        let s = RankSummary::from_ranks(&ranks);
+        assert_eq!(s.samples, 100);
+        assert_eq!(s.max, 99);
+        assert_eq!(s.p50, 50);
+        assert_eq!(s.p99, 98);
+        assert_eq!(s.nonzero, 99);
+    }
+}

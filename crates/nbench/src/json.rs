@@ -134,6 +134,18 @@ impl JsonWriter {
         }
     }
 
+    /// A bare `42` array element.
+    pub fn item_u64(&mut self, v: u64) {
+        self.pre_value();
+        self.out.push_str(&v.to_string());
+    }
+
+    /// A bare `"v"` array element.
+    pub fn item_str(&mut self, v: &str) {
+        self.pre_value();
+        self.push_escaped(v);
+    }
+
     /// Returns the finished document (with trailing newline).
     pub fn finish(mut self) -> String {
         assert!(self.stack.is_empty(), "unclosed container");

@@ -18,6 +18,7 @@
 //! | FunnelList         | [`histcheck::History::check_strict`]    |
 //! | SkipQueue (strict, batched unlink) | same as strict — batching defers *physical* removal only, so Definition 1 must survive every schedule |
 //! | SkipQueue (relaxed, batched unlink)| same as relaxed |
+//! | Sharded ([`SHARDED_SHARDS`] strict batched shards, sample [`SHARDED_SAMPLE`]) | [`histcheck::History::check_integrity`] must be clean; the sampling relaxation is *measured* as [`ScheduleOutcome::rank_error`] |
 //!
 //! Everything is a pure function of the [`ScheduleConfig`]: re-running a
 //! failing seed replays the exact schedule, bug included. The `schedtest`
@@ -25,7 +26,7 @@
 
 #![warn(missing_docs)]
 
-use histcheck::{History, Violation};
+use histcheck::{History, RankSummary, Violation};
 use pqsim::{FaultSpec, Pid, Proc, SchedSpec, Sim, SimConfig, SimReport, StallSpec};
 use simpq::{HistoryTap, SimFunnelList, SimHuntHeap, SimSkipQueue};
 
@@ -47,6 +48,16 @@ pub enum QueueUnderTest {
     SkipQueueStrictBatched,
     /// The relaxed SkipQueue with batched physical unlinking enabled.
     SkipQueueRelaxedBatched,
+    /// A sharded multi-queue front-end (the simulated mirror of the native
+    /// `shardq` crate): [`SHARDED_SHARDS`] independent strict batched
+    /// SkipQueues, inserts routed by processor id, `delete_min` sampling
+    /// [`SHARDED_SAMPLE`] shards and claiming from the one with the
+    /// smallest front key, with an exact-scan fallback. Audited under the
+    /// relaxed contract — integrity must hold, and the sampling relaxation
+    /// is measured as rank error. The native elimination array is not
+    /// mirrored here (it is a contention optimization with no new
+    /// shared-memory protocol on the sim's word-level machine).
+    Sharded,
 }
 
 /// Unlink-batch threshold used for the batched SkipQueue variants. Small
@@ -54,15 +65,22 @@ pub enum QueueUnderTest {
 /// must fire many times per run for its interleavings to be explored.
 pub const BATCHED_UNLINK_THRESHOLD: usize = 8;
 
+/// Shard count for [`QueueUnderTest::Sharded`].
+pub const SHARDED_SHARDS: usize = 3;
+
+/// Sampling width for [`QueueUnderTest::Sharded`]'s delete-min.
+pub const SHARDED_SAMPLE: usize = 2;
+
 impl QueueUnderTest {
-    /// All six queues, in reporting order.
-    pub const ALL: [QueueUnderTest; 6] = [
+    /// All seven queues, in reporting order.
+    pub const ALL: [QueueUnderTest; 7] = [
         QueueUnderTest::SkipQueueStrict,
         QueueUnderTest::SkipQueueRelaxed,
         QueueUnderTest::HuntHeap,
         QueueUnderTest::FunnelList,
         QueueUnderTest::SkipQueueStrictBatched,
         QueueUnderTest::SkipQueueRelaxedBatched,
+        QueueUnderTest::Sharded,
     ];
 
     /// Stable command-line name.
@@ -74,6 +92,7 @@ impl QueueUnderTest {
             QueueUnderTest::FunnelList => "funnel",
             QueueUnderTest::SkipQueueStrictBatched => "strict-batched",
             QueueUnderTest::SkipQueueRelaxedBatched => "relaxed-batched",
+            QueueUnderTest::Sharded => "sharded",
         }
     }
 
@@ -81,6 +100,17 @@ impl QueueUnderTest {
     pub fn parse(s: &str) -> Option<Self> {
         Self::ALL.into_iter().find(|q| q.name() == s)
     }
+}
+
+/// The variant roster as a space-separated string — the single source of
+/// truth for usage text, sweep output, and docs (derived from
+/// [`QueueUnderTest::ALL`], so adding a variant updates every listing).
+pub fn roster() -> String {
+    QueueUnderTest::ALL
+        .iter()
+        .map(|q| q.name())
+        .collect::<Vec<_>>()
+        .join(" ")
 }
 
 /// The synthetic program every processor runs.
@@ -168,6 +198,17 @@ pub struct ScheduleOutcome {
     /// permits them): evidence that the schedule made the §5.4 relaxation
     /// observable. Empty for the other queues.
     pub relaxation_evidence: Vec<Violation>,
+    /// Rank-error summary of the recorded history
+    /// ([`histcheck::History::rank_summary`]): how far each returned value
+    /// was from the live minimum, ordered by the deletes' recorded stamps.
+    /// The measured relaxation of [`QueueUnderTest::Sharded`]. Computed
+    /// for every queue, but note the strict queues stamp a delete at its
+    /// clock read (search start) rather than at the claim, so two
+    /// overlapping strict deletes whose linearization order differs from
+    /// their stamp order can legitimately register small nonzero ranks —
+    /// the number is an upper bound there, exact only under claim-point
+    /// stamps (see `histcheck::rank`'s module docs).
+    pub rank_error: RankSummary,
 }
 
 #[derive(Clone)]
@@ -175,6 +216,12 @@ enum QueueHandle {
     Skip(SimSkipQueue),
     Heap(SimHuntHeap),
     Funnel(SimFunnelList),
+    /// `shards` strict batched SkipQueues sharing one history tap; see
+    /// [`QueueUnderTest::Sharded`].
+    Sharded {
+        shards: Vec<SimSkipQueue>,
+        sample: usize,
+    },
 }
 
 impl QueueHandle {
@@ -186,6 +233,12 @@ impl QueueHandle {
             }
             QueueHandle::Heap(q) => q.insert(p, key, key).await,
             QueueHandle::Funnel(q) => q.insert(p, key, key).await,
+            QueueHandle::Sharded { shards, .. } => {
+                // Processor-id routing: deterministic, and adjacent pids
+                // land on different shards so sampling has work to do.
+                let i = p.pid() as usize % shards.len();
+                shards[i].insert(p, key, key).await;
+            }
         }
     }
 
@@ -194,6 +247,78 @@ impl QueueHandle {
             QueueHandle::Skip(q) => q.delete_min(p).await,
             QueueHandle::Heap(q) => q.delete_min(p).await,
             QueueHandle::Funnel(q) => q.delete_min(p).await,
+            QueueHandle::Sharded { shards, sample } => {
+                Self::sharded_delete_min(shards, *sample, p).await
+            }
+        }
+    }
+
+    /// The native `shardq` delete-min, transcribed: sample `c` distinct
+    /// shards with non-claiming probes, claim from the smallest front,
+    /// fall back to an exact scan of all shards when sampling found
+    /// nothing (or lost its claim race). A shard-level `delete_min` that
+    /// races to empty records a `None` into the shared history — a true
+    /// observation of that shard, harmless to the relaxed-contract audit
+    /// (integrity ignores EMPTY deletes, and so does the rank auditor).
+    async fn sharded_delete_min(
+        shards: &[SimSkipQueue],
+        sample: usize,
+        p: &Proc,
+    ) -> Option<(u64, u64)> {
+        let k = shards.len();
+        let c = sample.min(k);
+        let mut best: Option<(u64, usize)> = None;
+        if c == k {
+            for (i, s) in shards.iter().enumerate() {
+                if let Some(key) = s.peek_min_key(p).await {
+                    if best.is_none_or(|(bk, _)| key < bk) {
+                        best = Some((key, i));
+                    }
+                }
+            }
+        } else {
+            let mut chosen = [0usize; 8];
+            let mut n = 0;
+            while n < c {
+                let i = p.gen_range_u64(k as u64) as usize;
+                if !chosen[..n].contains(&i) {
+                    chosen[n] = i;
+                    n += 1;
+                }
+            }
+            for &i in &chosen[..c] {
+                if let Some(key) = shards[i].peek_min_key(p).await {
+                    if best.is_none_or(|(bk, _)| key < bk) {
+                        best = Some((key, i));
+                    }
+                }
+            }
+        }
+        if let Some((_, i)) = best {
+            if let Some(kv) = shards[i].delete_min(p).await {
+                return Some(kv);
+            }
+        }
+        // Exact-scan fallback: claim the globally smallest front; only a
+        // full pass of empty shards means EMPTY. Fronts that race away
+        // between the probe and the claim imply another processor made
+        // progress, so rescanning preserves system-wide progress.
+        loop {
+            let mut fronts: Vec<(u64, usize)> = Vec::with_capacity(k);
+            for (i, s) in shards.iter().enumerate() {
+                if let Some(key) = s.peek_min_key(p).await {
+                    fronts.push((key, i));
+                }
+            }
+            if fronts.is_empty() {
+                return None;
+            }
+            fronts.sort_unstable();
+            for &(_, i) in &fronts {
+                if let Some(kv) = shards[i].delete_min(p).await {
+                    return Some(kv);
+                }
+            }
         }
     }
 }
@@ -270,6 +395,16 @@ pub fn audit(queue: QueueUnderTest, history: &History) -> (Vec<Violation>, Vec<V
         }
         QueueUnderTest::HuntHeap => (history.check_integrity(), Vec::new()),
         QueueUnderTest::FunnelList => (history.check_strict(), Vec::new()),
+        QueueUnderTest::Sharded => {
+            // Relaxed contract: no element may be lost, duplicated, or
+            // invented, but the returned key need not be the minimum. The
+            // strict per-shard stamps make condition-4 departures
+            // impossible (a shard never claims a node that has not
+            // finished stamping), so the observable relaxation is rank
+            // error, reported via `ScheduleOutcome::rank_error` rather
+            // than as evidence violations.
+            (history.check_integrity(), Vec::new())
+        }
     }
 }
 
@@ -319,16 +454,28 @@ pub fn run_schedule(cfg: &ScheduleConfig) -> ScheduleOutcome {
                 .with_batched_unlink(&sim, BATCHED_UNLINK_THRESHOLD)
                 .with_tap(tap.clone()),
         ),
+        QueueUnderTest::Sharded => QueueHandle::Sharded {
+            shards: (0..SHARDED_SHARDS)
+                .map(|_| {
+                    SimSkipQueue::create(&sim, 12, true)
+                        .with_batched_unlink(&sim, BATCHED_UNLINK_THRESHOLD)
+                        .with_tap(tap.clone())
+                })
+                .collect(),
+            sample: SHARDED_SAMPLE,
+        },
     };
     spawn_workers(&mut sim, cfg, handle);
     let report = sim.run();
     let history = tap.take();
     let (violations, relaxation_evidence) = audit(cfg.queue, &history);
+    let rank_error = history.rank_summary();
     ScheduleOutcome {
         report,
         history,
         violations,
         relaxation_evidence,
+        rank_error,
     }
 }
 
@@ -393,6 +540,15 @@ mod tests {
     }
 
     #[test]
+    fn roster_is_derived_from_all() {
+        let r = roster();
+        assert_eq!(r.split(' ').count(), QueueUnderTest::ALL.len());
+        for q in QueueUnderTest::ALL {
+            assert!(r.split(' ').any(|n| n == q.name()), "{} missing", q.name());
+        }
+    }
+
+    #[test]
     fn exploration_rotates_schedulers_and_faults() {
         let c0 = exploration_config(QueueUnderTest::SkipQueueStrict, Workload::Mixed, 0);
         let c1 = exploration_config(QueueUnderTest::SkipQueueStrict, Workload::Mixed, 1);
@@ -417,6 +573,61 @@ mod tests {
             assert!(!out.history.is_empty());
             assert!(out.violations.is_empty(), "{queue:?}: {:?}", out.violations);
         }
+    }
+
+    #[test]
+    fn sharded_schedule_runs_and_audits_clean() {
+        // Integrity must hold on every seed; across a handful of seeds the
+        // sampling relaxation should become *measurable* (some delete
+        // returns a non-minimum), which is the whole point of the variant.
+        let mut nonzero_ranks = 0u64;
+        let mut scored = 0u64;
+        for seed in 0..6 {
+            for workload in Workload::ALL {
+                let cfg = ScheduleConfig::new(QueueUnderTest::Sharded, workload, seed);
+                let out = run_schedule(&cfg);
+                assert!(!out.history.is_empty());
+                assert!(
+                    out.violations.is_empty(),
+                    "seed {seed} {workload:?}: {:?}",
+                    out.violations
+                );
+                nonzero_ranks += out.rank_error.nonzero;
+                scored += out.rank_error.samples;
+            }
+        }
+        assert!(scored > 0, "no delete returned a value across all seeds");
+        assert!(
+            nonzero_ranks > 0,
+            "sharding never produced a rank error over 12 schedules — sampling is not being exercised"
+        );
+    }
+
+    #[test]
+    fn sharded_schedule_is_deterministic() {
+        let cfg = ScheduleConfig::new(QueueUnderTest::Sharded, Workload::Mixed, 5);
+        let a = run_schedule(&cfg);
+        let b = run_schedule(&cfg);
+        assert_eq!(a.report, b.report);
+        assert_eq!(a.rank_error, b.rank_error);
+    }
+
+    #[test]
+    fn sequential_strict_history_scores_zero_rank_error() {
+        // Only sound sequentially: with overlapping strict deletes the
+        // stamp order (clock read) can differ from the linearization
+        // order, registering benign nonzero ranks. One processor leaves
+        // no such ambiguity — every rank must be exactly 0.
+        let mut cfg =
+            ScheduleConfig::new(QueueUnderTest::SkipQueueStrict, Workload::FillThenDrain, 3);
+        cfg.nproc = 1;
+        let out = run_schedule(&cfg);
+        assert!(out.rank_error.samples > 0);
+        assert_eq!(
+            out.rank_error.nonzero, 0,
+            "sequential strict queue returned a non-minimum: {:?}",
+            out.rank_error
+        );
     }
 
     #[test]

@@ -1,0 +1,302 @@
+//! Bounded elimination array: direct insert → delete-min hand-offs.
+//!
+//! *The Adaptive Priority Queue with Elimination and Combining* (Calciu,
+//! Mendes & Herlihy, DISC 2014) observes that under contention an `insert`
+//! and a `delete_min` can cancel each other without ever touching the
+//! structure — provided the inserted key is small enough that handing it
+//! straight to the deleter is consistent with the queue's (relaxed)
+//! ordering contract. This module implements the bounded-array variant: a
+//! `delete_min` that lost a claim race parks in a slot, publishing the
+//! smallest front key it observed as a *bound*; a concurrent `insert`
+//! whose key is `<=` that bound may fill the slot instead of walking a
+//! skiplist.
+//!
+//! Each slot is a five-state machine, all transitions by CAS or by the
+//! slot's current exclusive owner:
+//!
+//! ```text
+//! EMPTY --CAS(deleter)--> PREP --(write bound)--> WAITING
+//! WAITING --CAS(inserter)--> FILLING --(key <= bound: write item)--> HANDOFF
+//!                                    \-(key too big)-> WAITING
+//! WAITING --CAS(deleter withdraw)--> EMPTY
+//! HANDOFF --(deleter takes item)--> EMPTY
+//! ```
+//!
+//! The inserter's `WAITING -> FILLING` CAS is what makes the protocol
+//! torn-read-free: only the unique thread that won that CAS reads the
+//! bound or writes the item, and the parked deleter never frees the slot
+//! while it is `FILLING`. The deleter's withdraw CAS (`WAITING -> EMPTY`)
+//! can therefore fail only because an inserter is mid-examination, in
+//! which case the deleter spins until the slot settles back to `WAITING`
+//! (rejected — retry the withdraw) or `HANDOFF` (matched — take the item).
+//!
+//! `waiters` is a hint, not a synchronizer: inserts read it once and skip
+//! the scan when no deleter is parked, so the array costs the insert fast
+//! path a single uncontended load.
+
+use std::cell::UnsafeCell;
+use std::mem::MaybeUninit;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+use crossbeam_utils::CachePadded;
+
+const EMPTY: usize = 0;
+const PREP: usize = 1;
+const WAITING: usize = 2;
+const FILLING: usize = 3;
+const HANDOFF: usize = 4;
+
+struct Slot<K, V> {
+    state: AtomicUsize,
+    /// Written by the parked deleter in `PREP`, read by the inserter that
+    /// owns the slot in `FILLING`. `K: Copy`, so no drop obligations.
+    bound: UnsafeCell<MaybeUninit<K>>,
+    /// Written by the inserter in `FILLING`, moved out by the deleter that
+    /// observes `HANDOFF`.
+    item: UnsafeCell<MaybeUninit<(K, V)>>,
+}
+
+impl<K, V> Slot<K, V> {
+    fn new() -> Self {
+        Self {
+            state: AtomicUsize::new(EMPTY),
+            bound: UnsafeCell::new(MaybeUninit::uninit()),
+            item: UnsafeCell::new(MaybeUninit::uninit()),
+        }
+    }
+}
+
+pub(crate) struct EliminationArray<K, V> {
+    slots: Box<[CachePadded<Slot<K, V>>]>,
+    /// Parked-deleter count; an insert-side fast-path hint only.
+    waiters: CachePadded<AtomicUsize>,
+    hits: CachePadded<AtomicU64>,
+}
+
+// SAFETY: slot contents cross threads by value under the exclusive-owner
+// protocol above — a `K` or `(K, V)` is written by exactly one thread and
+// read/moved by exactly one other, with Release/Acquire edges through
+// `state`. That is ownership transfer, so `Send` bounds suffice.
+unsafe impl<K: Send, V: Send> Send for EliminationArray<K, V> {}
+unsafe impl<K: Send, V: Send> Sync for EliminationArray<K, V> {}
+
+impl<K: Ord + Copy, V> EliminationArray<K, V> {
+    pub(crate) fn new(slots: usize) -> Self {
+        assert!(slots >= 1, "elimination array needs at least one slot");
+        Self {
+            slots: (0..slots).map(|_| CachePadded::new(Slot::new())).collect(),
+            waiters: CachePadded::new(AtomicUsize::new(0)),
+            hits: CachePadded::new(AtomicU64::new(0)),
+        }
+    }
+
+    /// Successful hand-offs so far (monotone, relaxed).
+    pub(crate) fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Parks the calling deleter for up to `spins` iterations, accepting a
+    /// hand-off from any insert whose key is `<= bound`. Returns `None`
+    /// when no slot was free or no insert matched in time; the caller
+    /// falls back to the structure.
+    pub(crate) fn park(&self, bound: K, spins: u32, start: usize) -> Option<(K, V)> {
+        let n = self.slots.len();
+        let mut slot = None;
+        for off in 0..n {
+            let s = &*self.slots[(start + off) % n];
+            if s.state.load(Ordering::Relaxed) == EMPTY
+                && s.state
+                    .compare_exchange(EMPTY, PREP, Ordering::Acquire, Ordering::Relaxed)
+                    .is_ok()
+            {
+                slot = Some(s);
+                break;
+            }
+        }
+        let slot = slot?;
+        self.waiters.fetch_add(1, Ordering::Relaxed);
+        // SAFETY: PREP makes this thread the slot's exclusive owner; no
+        // inserter touches the slot until the WAITING store below.
+        unsafe { (*slot.bound.get()).write(bound) };
+        slot.state.store(WAITING, Ordering::Release);
+
+        let mut i = 0u32;
+        while i < spins {
+            if slot.state.load(Ordering::Acquire) == HANDOFF {
+                self.waiters.fetch_sub(1, Ordering::Relaxed);
+                return Some(self.take(slot));
+            }
+            if i % 16 == 15 {
+                // On few-core hosts the matching insert needs this core.
+                std::thread::yield_now();
+            } else {
+                std::hint::spin_loop();
+            }
+            i += 1;
+        }
+
+        // Withdraw. The CAS can lose only to an inserter (FILLING) or to a
+        // completed match (HANDOFF); nobody else transitions WAITING.
+        loop {
+            match slot
+                .state
+                .compare_exchange(WAITING, EMPTY, Ordering::AcqRel, Ordering::Acquire)
+            {
+                Ok(_) => {
+                    self.waiters.fetch_sub(1, Ordering::Relaxed);
+                    return None;
+                }
+                Err(FILLING) => {
+                    // An inserter owns the slot right now; it will settle
+                    // to WAITING (rejected) or HANDOFF (matched) shortly.
+                    while slot.state.load(Ordering::Acquire) == FILLING {
+                        std::hint::spin_loop();
+                    }
+                }
+                Err(HANDOFF) => {
+                    self.waiters.fetch_sub(1, Ordering::Relaxed);
+                    return Some(self.take(slot));
+                }
+                Err(s) => unreachable!("elimination slot left WAITING without us: state {s}"),
+            }
+        }
+    }
+
+    /// Insert-side attempt: hand `(key, value)` to a parked deleter whose
+    /// bound admits it. Returns the pair back on failure so the caller can
+    /// insert it into a shard.
+    pub(crate) fn try_eliminate(&self, key: K, value: V) -> Result<(), (K, V)> {
+        if self.waiters.load(Ordering::Relaxed) == 0 {
+            return Err((key, value));
+        }
+        for s in self.slots.iter() {
+            let s = &**s;
+            if s.state.load(Ordering::Relaxed) != WAITING {
+                continue;
+            }
+            if s.state
+                .compare_exchange(WAITING, FILLING, Ordering::Acquire, Ordering::Relaxed)
+                .is_err()
+            {
+                continue;
+            }
+            // SAFETY: the CAS above made this thread the slot's exclusive
+            // owner; the bound was published before WAITING.
+            let bound = unsafe { (*s.bound.get()).assume_init() };
+            if key <= bound {
+                // SAFETY: still the exclusive owner.
+                unsafe { (*s.item.get()).write((key, value)) };
+                s.state.store(HANDOFF, Ordering::Release);
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return Ok(());
+            }
+            // Too big for this deleter; give the slot back and keep looking.
+            s.state.store(WAITING, Ordering::Release);
+        }
+        Err((key, value))
+    }
+
+    fn take(&self, slot: &Slot<K, V>) -> (K, V) {
+        // SAFETY: HANDOFF was observed with Acquire, so the inserter's item
+        // write is visible, and only the parked deleter reaches here.
+        let item = unsafe { (*slot.item.get()).assume_init_read() };
+        slot.state.store(EMPTY, Ordering::Release);
+        item
+    }
+}
+
+impl<K, V> Drop for EliminationArray<K, V> {
+    fn drop(&mut self) {
+        // Normal operation leaves every slot EMPTY (a parked deleter always
+        // resolves its slot before returning); this covers a handed-off
+        // item orphaned by a panicking deleter.
+        for s in self.slots.iter_mut() {
+            if *s.state.get_mut() == HANDOFF {
+                // SAFETY: &mut self, and HANDOFF means the item is live.
+                unsafe { (*s.item.get()).assume_init_drop() };
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicBool;
+    use std::sync::Arc;
+
+    #[test]
+    fn park_without_partner_withdraws_clean() {
+        let arr: EliminationArray<u64, String> = EliminationArray::new(2);
+        assert!(arr.park(10, 32, 0).is_none());
+        assert_eq!(arr.hits(), 0);
+        // The slot is reusable afterwards.
+        assert!(arr.park(10, 32, 0).is_none());
+    }
+
+    #[test]
+    fn eliminate_without_waiter_returns_pair() {
+        let arr: EliminationArray<u64, String> = EliminationArray::new(2);
+        let back = arr.try_eliminate(3, "x".to_string()).unwrap_err();
+        assert_eq!(back, (3, "x".to_string()));
+    }
+
+    #[test]
+    fn handoff_respects_bound() {
+        let arr: Arc<EliminationArray<u64, u64>> = Arc::new(EliminationArray::new(1));
+        let stop = Arc::new(AtomicBool::new(false));
+        let deleter = {
+            let arr = Arc::clone(&arr);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                // Park with bound 10 until a partner shows up.
+                loop {
+                    if let Some(kv) = arr.park(10, 10_000, 0) {
+                        return kv;
+                    }
+                    if stop.load(Ordering::Relaxed) {
+                        panic!("deleter never matched");
+                    }
+                }
+            })
+        };
+        // Keys above the bound must bounce, no matter how often we try.
+        for _ in 0..64 {
+            assert!(arr.try_eliminate(50u64, 0u64).is_err());
+        }
+        // A key under the bound eventually lands (the deleter may briefly
+        // be between park attempts).
+        let mut handed = false;
+        for _ in 0..1_000_000 {
+            if arr.try_eliminate(5u64, 77u64).is_ok() {
+                handed = true;
+                break;
+            }
+            std::thread::yield_now();
+        }
+        assert!(handed, "inserter never found the parked deleter");
+        let got = deleter.join().unwrap();
+        stop.store(true, Ordering::Relaxed);
+        assert_eq!(got, (5, 77));
+        assert_eq!(arr.hits(), 1);
+    }
+
+    #[test]
+    fn orphaned_handoff_dropped_with_array() {
+        struct Tracked(Arc<AtomicUsize>);
+        impl Drop for Tracked {
+            fn drop(&mut self) {
+                self.0.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        let drops = Arc::new(AtomicUsize::new(0));
+        let mut arr: EliminationArray<u64, Tracked> = EliminationArray::new(1);
+        // Forge a HANDOFF state as a panicked deleter would leave it.
+        let s = &*arr.slots[0];
+        unsafe { (*s.item.get()).write((1, Tracked(Arc::clone(&drops)))) };
+        s.state.store(HANDOFF, Ordering::Release);
+        let _ = &mut arr;
+        drop(arr);
+        assert_eq!(drops.load(Ordering::Relaxed), 1);
+    }
+}

@@ -538,6 +538,41 @@ impl SimSkipQueue {
         Some((key, value))
     }
 
+    /// Non-claiming front-key probe (mirror of the native
+    /// `SkipQueue::peek_min_key`): walks the bottom level from the scan
+    /// hint (batched) or the head and returns the first unmarked key, or
+    /// `None` when no unmarked node is found. Costs shared-memory reads
+    /// only — no SWAP, no locks — so a sampling front-end can compare
+    /// shard fronts cheaply; the snapshot is relaxed, exactly as in the
+    /// native queue.
+    pub async fn peek_min_key(&self, p: &Proc) -> Option<u64> {
+        self.register_entry(p).await;
+        let mut node1 = if self.unlink_batch != 0 {
+            let hint = p.read(self.batch_words + 1).await as Addr;
+            if hint != NULL {
+                hint
+            } else {
+                p.read(next_addr(self.head, 0)).await as Addr
+            }
+        } else {
+            p.read(next_addr(self.head, 0)).await as Addr
+        };
+        let key = loop {
+            if node1 == self.tail {
+                break None;
+            }
+            // The backward-pointer trick can land the walk on the head
+            // (an unlinked node's forward pointers name its predecessors);
+            // step forward again rather than report the sentinel key.
+            if node1 != self.head && p.read(node1 + DELETED).await == 0 {
+                break Some(p.read(node1 + KEY).await);
+            }
+            node1 = p.read(next_addr(node1, 0)).await as Addr;
+        };
+        self.register_exit(p).await;
+        key
+    }
+
     /// Batched physical delete (mirror of the native cleaner): collect the
     /// contiguous marked prefix of the bottom level, unlink it with one
     /// hand-over-hand sweep per level (top-down, two locks per level),
@@ -880,6 +915,37 @@ mod tests {
         assert_eq!(vals, vec![10, 20, 50, 70, 90]);
         assert_eq!(q.check_invariants(&sim), 0);
         assert_eq!(q.stats().retired, 5);
+    }
+
+    #[test]
+    fn peek_min_key_probes_without_claiming() {
+        let mut sim = new_sim(1);
+        let q = SimSkipQueue::create(&sim, 8, true).with_batched_unlink(&sim, 4);
+        let out = sim.alloc_shared(6);
+        let q2 = q.clone();
+        sim.spawn(move |p| async move {
+            // Empty queue: probe sees nothing.
+            let empty = q2.peek_min_key(&p).await;
+            p.write(out, empty.is_none() as u64).await;
+            for k in [5u64, 2, 9] {
+                q2.insert(&p, k, k * 10).await;
+            }
+            // Probe reports the minimum and does not consume it.
+            p.write(out + 1, q2.peek_min_key(&p).await.unwrap()).await;
+            p.write(out + 2, q2.peek_min_key(&p).await.unwrap()).await;
+            let (k, _) = q2.delete_min(&p).await.unwrap();
+            p.write(out + 3, k).await;
+            // Batched mode leaves the claimed node linked; the probe must
+            // skip the marked prefix.
+            p.write(out + 4, q2.peek_min_key(&p).await.unwrap()).await;
+        });
+        sim.run();
+        assert_eq!(sim.read_word(out), 1);
+        assert_eq!(sim.read_word(out + 1), 2);
+        assert_eq!(sim.read_word(out + 2), 2);
+        assert_eq!(sim.read_word(out + 3), 2);
+        assert_eq!(sim.read_word(out + 4), 5);
+        assert_eq!(q.check_invariants(&sim), 2);
     }
 
     #[test]

@@ -6,6 +6,7 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
+use shardq::{InsertPolicy, ShardedSkipQueue};
 use skipqueue::SkipQueue;
 
 #[test]
@@ -114,6 +115,74 @@ fn keys_with_drop_glue_survive_gc() {
     });
     q.collect_garbage();
     assert_eq!(q.garbage_pending(), 0);
+}
+
+#[test]
+fn batched_retirement_under_shard_churn_leaks_nothing() {
+    // The sharded front-end is the harshest client `retire_batch` has:
+    // every shard owns a collector, each thread holds a slot in several
+    // collectors at once (sampling touches shards it never inserts into),
+    // and the batched cleaner retires whole unlinked prefixes in one call
+    // while other threads are still walking them. Drop-counted payloads
+    // account for every node across claim-path drops, per-shard GC, and
+    // queue teardown.
+    static LIVE: AtomicUsize = AtomicUsize::new(0);
+
+    struct Tracked(#[allow(dead_code)] u64);
+    impl Tracked {
+        fn new(v: u64) -> Self {
+            LIVE.fetch_add(1, Ordering::SeqCst);
+            Tracked(v)
+        }
+    }
+    impl Drop for Tracked {
+        fn drop(&mut self) {
+            LIVE.fetch_sub(1, Ordering::SeqCst);
+        }
+    }
+
+    for round in 0..4u64 {
+        {
+            // Small unlink batch so retirement batches trigger constantly;
+            // elimination on so hand-offs bypass shards entirely (those
+            // payloads must drop through the consumer, not a collector).
+            let q: Arc<ShardedSkipQueue<u64, Tracked>> = Arc::new(ShardedSkipQueue::with_params(
+                4,
+                2,
+                4,
+                InsertPolicy::RoundRobin,
+                true,
+            ));
+            std::thread::scope(|s| {
+                for t in 0..6u64 {
+                    let q = Arc::clone(&q);
+                    s.spawn(move || {
+                        for i in 0..2_000u64 {
+                            let key = (round * 7 + t * 11 + i * 13) % 509;
+                            q.insert(key, Tracked::new(key));
+                            if i % 3 != 0 {
+                                // Claim-path drop; sampling routinely
+                                // enters shards this thread never wrote.
+                                q.delete_min();
+                            }
+                        }
+                    });
+                }
+            });
+            // Quiescent: every shard's collector must drain its backlog.
+            q.collect_garbage();
+            assert_eq!(
+                q.garbage_pending(),
+                0,
+                "round {round}: retired nodes stuck after quiescent collection"
+            );
+        } // queue drop reclaims still-linked nodes
+        assert_eq!(
+            LIVE.load(Ordering::SeqCst),
+            0,
+            "round {round}: payload leak or double drop under shard churn"
+        );
+    }
 }
 
 #[test]
