@@ -44,7 +44,9 @@ fn main() {
         QueueKind::SkipQueue { strict: false },
     ];
 
-    let figs: [(&str, &str, &[QueueKind], usize, usize, f64); 6] = [
+    // (csv stem, title, queues, total ops, initial size, insert ratio)
+    type FigSpec<'a> = (&'a str, &'a str, &'a [QueueKind], usize, usize, f64);
+    let figs: [FigSpec; 6] = [
         (
             "fig3_small",
             "Figure 3: small structure",

@@ -66,15 +66,27 @@ unsafe impl<K: Send, V: Send> Sync for Collector<K, V> {}
 /// Pin guard: while alive, no node unlinked *after* the pin may be freed.
 pub struct Guard<'a, K, V> {
     collector: &'a Collector<K, V>,
-    slot_idx: usize,
+    raw: RawGuard,
 }
 
 impl<K, V> Drop for Guard<'_, K, V> {
     fn drop(&mut self) {
-        self.collector.slots[self.slot_idx]
-            .entry
-            .store(OUTSIDE, Ordering::Release);
+        self.collector.exit(self.raw);
     }
+}
+
+/// Manual-lifecycle pin token for the shared-algorithm platform hooks: the
+/// algorithm layer registers entry/exit explicitly (the paper's §3 registry
+/// writes), so the native platform cannot use a borrow-carrying guard.
+///
+/// `nested` marks a re-entrant pin on an already-pinned thread (a test
+/// phase hook injecting an insert from inside a cleanup sweep): the outer,
+/// older announcement is kept and the nested exit is a no-op, so the outer
+/// pin's protection is never retracted early.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct RawGuard {
+    slot: usize,
+    nested: bool,
 }
 
 fn collector_ids() -> u64 {
@@ -159,21 +171,42 @@ impl<K, V> Collector<K, V> {
     /// Announces that the current thread is inside the structure and returns
     /// a guard that retracts the announcement on drop.
     pub fn pin(&self) -> Guard<'_, K, V> {
+        Guard {
+            collector: self,
+            raw: self.enter(),
+        }
+    }
+
+    /// Manual-lifecycle variant of [`Collector::pin`]: announces entry and
+    /// returns a token the caller must pass back to [`Collector::exit`].
+    /// Re-entrant on the same thread (see [`RawGuard`]).
+    pub(crate) fn enter(&self) -> RawGuard {
         let slot_idx = self.slot_index();
         let slot = &self.slots[slot_idx];
-        debug_assert_eq!(
-            slot.entry.load(Ordering::Relaxed),
-            OUTSIDE,
-            "nested pin on the same thread"
-        );
+        if slot.entry.load(Ordering::Relaxed) != OUTSIDE {
+            // Already pinned by an outer operation on this thread: keep the
+            // older (more conservative) announcement.
+            return RawGuard {
+                slot: slot_idx,
+                nested: true,
+            };
+        }
         let t = self.clock.tick();
         slot.entry.store(t, Ordering::SeqCst);
         // Make the announcement visible before any pointer into the
         // structure is read (crossbeam-epoch-style publication fence).
         fence(Ordering::SeqCst);
-        Guard {
-            collector: self,
-            slot_idx,
+        RawGuard {
+            slot: slot_idx,
+            nested: false,
+        }
+    }
+
+    /// Retracts an [`Collector::enter`] announcement (no-op for a nested
+    /// token — the outer exit retracts it).
+    pub(crate) fn exit(&self, g: RawGuard) {
+        if !g.nested {
+            self.slots[g.slot].entry.store(OUTSIDE, Ordering::Release);
         }
     }
 
@@ -185,10 +218,11 @@ impl<K, V> Collector<K, V> {
     /// `ptr` must be a fully unlinked node from the owning queue, retired at
     /// most once, with no new references to it created after unlinking
     /// (traversals holding older references are exactly what the quiescence
-    /// rule waits out).
-    pub(crate) unsafe fn retire(&self, guard: &Guard<'_, K, V>, ptr: *mut Node<K, V>) {
+    /// rule waits out). The calling thread must currently be entered with
+    /// `g`.
+    pub(crate) unsafe fn retire(&self, g: RawGuard, ptr: *mut Node<K, V>) {
         // SAFETY: forwarded contract.
-        unsafe { self.retire_batch(guard, std::iter::once(ptr)) }
+        unsafe { self.retire_batch(g, std::iter::once(ptr)) }
     }
 
     /// Retires a whole group of unlinked nodes as one unit: a single
@@ -201,12 +235,12 @@ impl<K, V> Collector<K, V> {
     /// # Safety
     ///
     /// Every pointer must satisfy the [`Collector::retire`] contract.
-    pub(crate) unsafe fn retire_batch<I>(&self, guard: &Guard<'_, K, V>, ptrs: I)
+    pub(crate) unsafe fn retire_batch<I>(&self, g: RawGuard, ptrs: I)
     where
         I: IntoIterator<Item = *mut Node<K, V>>,
     {
         let ts = self.clock.tick();
-        let slot = &self.slots[guard.slot_idx];
+        let slot = &self.slots[g.slot];
         let run_collect = {
             let mut g = slot.garbage.lock();
             g.extend(ptrs.into_iter().map(|ptr| Retired { ptr, ts }));
@@ -294,7 +328,7 @@ mod tests {
         let c: Collector<u64, u64> = Collector::new(4);
         {
             let g = c.pin();
-            unsafe { c.retire(&g, mknode(1)) };
+            unsafe { c.retire(g.raw, mknode(1)) };
             // We are still pinned with an entry older than the retirement:
             // nothing can be freed.
             assert_eq!(c.collect(), 0);
@@ -321,7 +355,7 @@ mod tests {
             // Peer pinned before this retirement: must block it.
             {
                 let g = c.pin();
-                unsafe { c.retire(&g, mknode(2)) };
+                unsafe { c.retire(g.raw, mknode(2)) };
             }
             assert_eq!(c.collect(), 0, "peer entered before the retirement");
             done_tx.send(()).unwrap();
@@ -334,7 +368,7 @@ mod tests {
         let c: Collector<u64, u64> = Collector::new(4);
         {
             let g = c.pin();
-            unsafe { c.retire(&g, mknode(3)) };
+            unsafe { c.retire(g.raw, mknode(3)) };
         }
         // Pin *after* the retirement: the entry is newer than the stamp.
         let _g = c.pin();
@@ -358,7 +392,7 @@ mod tests {
         {
             let g = c.pin();
             let n = Node::alloc(IKey::Val(ManuallyDrop::new(1), 0), Some(Tracked), 1);
-            unsafe { c.retire(&g, n) };
+            unsafe { c.retire(g.raw, n) };
         }
         drop(c);
         assert_eq!(DROPS.load(Ordering::SeqCst), 1);
@@ -369,7 +403,7 @@ mod tests {
         let c: Collector<u64, u64> = Collector::new(2);
         for i in 0..(COLLECT_THRESHOLD as u64 + 8) {
             let g = c.pin();
-            unsafe { c.retire(&g, mknode(i)) };
+            unsafe { c.retire(g.raw, mknode(i)) };
             drop(g);
         }
         // The automatic collection inside retire must have freed most
@@ -395,7 +429,7 @@ mod tests {
                 s.spawn(|| {
                     for i in 0..50 {
                         let g = c.pin();
-                        unsafe { c.retire(&g, mknode(i)) };
+                        unsafe { c.retire(g.raw, mknode(i)) };
                     }
                 });
             }

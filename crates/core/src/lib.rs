@@ -64,6 +64,16 @@
 //!   scan-start hint so later deletes skip the dead prefix. Claim order and
 //!   time-stamp placement are unchanged, so strict semantics are identical;
 //!   the default remains the paper's eager per-delete unlink.
+//!
+//! ## One algorithm, two runtimes
+//!
+//! The algorithm itself — Figures 9–11, the relaxed variant, the batched
+//! cleaner — lives in the shared [`pqalgo`] crate, parameterized over a
+//! `Platform` of memory/lock/clock/GC hooks. This crate supplies the native
+//! platform (std atomics + `parking_lot`, driven synchronously by a single
+//! poll); the `simpq` crate instantiates the *same* algorithm on the
+//! simulated multiprocessor, where every hook is a charged machine
+//! operation. See `DESIGN.md` at the workspace root for the full mapping.
 
 #![deny(unsafe_op_in_unsafe_fn)]
 #![warn(missing_docs)]
@@ -78,3 +88,8 @@ pub mod seq;
 pub use clock::TimestampClock;
 pub use pq::PriorityQueue;
 pub use queue::{SkipQueue, DEFAULT_UNLINK_BATCH};
+
+// Shared-algorithm types surfaced for the cross-runtime differential tests
+// (the phase-hook and decision-trace seams on `SkipQueue` speak them).
+#[doc(hidden)]
+pub use pqalgo::{CleanupPhase, TraceEvent};

@@ -139,8 +139,7 @@ impl<K: Ord, V> SeqSkipList<K, V> {
         self.nodes[idx].value = Some(value);
         self.nodes[idx].next.clear();
         self.nodes[idx].next.resize(height, NIL);
-        for lvl in 0..height {
-            let p = preds[lvl];
+        for (lvl, &p) in preds.iter().enumerate().take(height) {
             self.nodes[idx].next[lvl] = self.nodes[p].next[lvl];
             self.nodes[p].next[lvl] = idx;
         }

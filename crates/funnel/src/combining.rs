@@ -53,6 +53,10 @@ struct Request<T, R> {
 unsafe impl<T: Send, R: Send> Send for Request<T, R> {}
 unsafe impl<T: Send, R: Send> Sync for Request<T, R> {}
 
+/// One collision layer: a row of slots holding pointers to parked
+/// requests; widths shrink geometrically toward the funnel's tip.
+type Layer<T, R> = Box<[AtomicPtr<Request<T, R>>]>;
+
 /// A combining funnel for requests of type `T` producing results of type
 /// `R`. See the module docs.
 ///
@@ -67,7 +71,7 @@ unsafe impl<T: Send, R: Send> Sync for Request<T, R> {}
 /// ```
 pub struct Funnel<T, R> {
     /// Collision slots per layer; widths shrink geometrically.
-    layers: Vec<Box<[AtomicPtr<Request<T, R>>]>>,
+    layers: Vec<Layer<T, R>>,
     /// Iterations of the collision window spin.
     spin: usize,
     /// Cheap per-funnel RNG salt.

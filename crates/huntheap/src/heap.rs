@@ -37,6 +37,10 @@ fn thread_token() -> usize {
     TOKEN.with(|t| t as *const u8 as usize)
 }
 
+/// One heap slot on its own cache line, under its own lock (the
+/// algorithm's per-node locking granularity).
+type LockedSlot<K, V> = CachePadded<Mutex<Slot<K, V>>>;
+
 /// The Hunt et al. concurrent binary min-heap.
 ///
 /// Fixed capacity (the paper pre-allocates the array — listed by Lotan &
@@ -49,7 +53,7 @@ pub struct HuntHeap<K, V> {
     /// full top level: bit-reversed positions for a count `c` range over
     /// `c`'s entire heap level, so the array extends to the next power of
     /// two above `capacity`.
-    slots: Box<[CachePadded<Mutex<Slot<K, V>>>]>,
+    slots: Box<[LockedSlot<K, V>]>,
     /// Maximum number of items (`size` bound).
     capacity: usize,
 }

@@ -42,20 +42,21 @@ pub enum QueueUnderTest {
     /// The combining-funnel sorted list.
     FunnelList,
     /// The strict SkipQueue with batched physical unlinking enabled
-    /// (threshold [`BATCHED_UNLINK_THRESHOLD`]) — the simulated mirror of
-    /// the native queue's deferred-deletion optimization. Must satisfy the
-    /// same Definition-1 contract as [`QueueUnderTest::SkipQueueStrict`].
+    /// (threshold [`BATCHED_UNLINK_THRESHOLD`]) — the same shared `pqalgo`
+    /// cleaner the native queue runs, instantiated on the simulator. Must
+    /// satisfy the same Definition-1 contract as
+    /// [`QueueUnderTest::SkipQueueStrict`].
     SkipQueueStrictBatched,
     /// The relaxed SkipQueue with batched physical unlinking enabled.
     SkipQueueRelaxedBatched,
-    /// A sharded multi-queue front-end (the simulated mirror of the native
-    /// `shardq` crate): [`SHARDED_SHARDS`] independent strict batched
-    /// SkipQueues, inserts routed by processor id, `delete_min` sampling
-    /// [`SHARDED_SAMPLE`] shards and claiming from the one with the
-    /// smallest front key, with an exact-scan fallback. Audited under the
-    /// relaxed contract — integrity must hold, and the sampling relaxation
-    /// is measured as rank error. The native elimination array is not
-    /// mirrored here (it is a contention optimization with no new
+    /// A sharded multi-queue front-end (the simulated counterpart of the
+    /// native `shardq` crate): [`SHARDED_SHARDS`] independent strict
+    /// batched SkipQueues, inserts routed by processor id, `delete_min`
+    /// sampling [`SHARDED_SAMPLE`] shards and claiming from the one with
+    /// the smallest front key, with an exact-scan fallback. Audited under
+    /// the relaxed contract — integrity must hold, and the sampling
+    /// relaxation is measured as rank error. The native elimination array
+    /// is not reproduced here (it is a contention optimization with no new
     /// shared-memory protocol on the sim's word-level machine).
     Sharded,
 }
@@ -70,6 +71,23 @@ pub const SHARDED_SHARDS: usize = 3;
 
 /// Sampling width for [`QueueUnderTest::Sharded`]'s delete-min.
 pub const SHARDED_SAMPLE: usize = 2;
+
+/// Skiplist tower cap shared by every SkipQueue-backed variant.
+pub const SKIP_MAX_LEVEL: usize = 12;
+
+/// Unified constructor for the five SkipQueue-backed roster entries (and
+/// each shard of [`QueueUnderTest::Sharded`]): one place holds the tower
+/// cap and the batching threshold, so the variants differ *only* in the
+/// `(strict, batched)` knobs handed to the shared algorithm.
+fn make_skipqueue(sim: &Sim, strict: bool, batched: bool, tap: &HistoryTap) -> SimSkipQueue {
+    let q = SimSkipQueue::create(sim, SKIP_MAX_LEVEL, strict);
+    let q = if batched {
+        q.with_batched_unlink(sim, BATCHED_UNLINK_THRESHOLD)
+    } else {
+        q
+    };
+    q.with_tap(tap.clone())
+}
 
 impl QueueUnderTest {
     /// All seven queues, in reporting order.
@@ -253,7 +271,7 @@ impl QueueHandle {
         }
     }
 
-    /// The native `shardq` delete-min, transcribed: sample `c` distinct
+    /// The native `shardq` delete-min policy: sample `c` distinct
     /// shards with non-claiming probes, claim from the smallest front,
     /// fall back to an exact scan of all shards when sampling found
     /// nothing (or lost its claim race). A shard-level `delete_min` that
@@ -431,10 +449,10 @@ pub fn run_schedule(cfg: &ScheduleConfig) -> ScheduleOutcome {
     let tap = HistoryTap::new();
     let handle = match cfg.queue {
         QueueUnderTest::SkipQueueStrict => {
-            QueueHandle::Skip(SimSkipQueue::create(&sim, 12, true).with_tap(tap.clone()))
+            QueueHandle::Skip(make_skipqueue(&sim, true, false, &tap))
         }
         QueueUnderTest::SkipQueueRelaxed => {
-            QueueHandle::Skip(SimSkipQueue::create(&sim, 12, false).with_tap(tap.clone()))
+            QueueHandle::Skip(make_skipqueue(&sim, false, false, &tap))
         }
         QueueUnderTest::HuntHeap => {
             // Worst case every operation is an insert.
@@ -444,23 +462,15 @@ pub fn run_schedule(cfg: &ScheduleConfig) -> ScheduleOutcome {
         QueueUnderTest::FunnelList => QueueHandle::Funnel(
             SimFunnelList::create(&sim, (cfg.nproc / 2).max(1), 2).with_tap(tap.clone()),
         ),
-        QueueUnderTest::SkipQueueStrictBatched => QueueHandle::Skip(
-            SimSkipQueue::create(&sim, 12, true)
-                .with_batched_unlink(&sim, BATCHED_UNLINK_THRESHOLD)
-                .with_tap(tap.clone()),
-        ),
-        QueueUnderTest::SkipQueueRelaxedBatched => QueueHandle::Skip(
-            SimSkipQueue::create(&sim, 12, false)
-                .with_batched_unlink(&sim, BATCHED_UNLINK_THRESHOLD)
-                .with_tap(tap.clone()),
-        ),
+        QueueUnderTest::SkipQueueStrictBatched => {
+            QueueHandle::Skip(make_skipqueue(&sim, true, true, &tap))
+        }
+        QueueUnderTest::SkipQueueRelaxedBatched => {
+            QueueHandle::Skip(make_skipqueue(&sim, false, true, &tap))
+        }
         QueueUnderTest::Sharded => QueueHandle::Sharded {
             shards: (0..SHARDED_SHARDS)
-                .map(|_| {
-                    SimSkipQueue::create(&sim, 12, true)
-                        .with_batched_unlink(&sim, BATCHED_UNLINK_THRESHOLD)
-                        .with_tap(tap.clone())
-                })
+                .map(|_| make_skipqueue(&sim, true, true, &tap))
                 .collect(),
             sample: SHARDED_SAMPLE,
         },

@@ -8,11 +8,12 @@
 //! contends at its home memory module — plus the synthetic workload driver
 //! that regenerates every figure of the paper.
 //!
-//! * [`skipqueue::SimSkipQueue`] — the SkipQueue, a line-by-line
-//!   transcription of the paper's Figures 9–11 (including the `getLock`
-//!   re-validation loop, the update-in-place path for an existing key, the
-//!   `timeStamp` mechanism, and the backward-pointer delete); the *relaxed*
-//!   variant of §5.4 is a constructor flag.
+//! * [`skipqueue::SimSkipQueue`] — the SkipQueue: the shared [`pqalgo`]
+//!   algorithm (the `getLock` re-validation loop, the update-in-place path
+//!   for an existing key, the `timeStamp` mechanism, the backward-pointer
+//!   delete) instantiated on a platform where every hook is a charged
+//!   machine operation; the *relaxed* variant of §5.4 is a constructor
+//!   flag. The native `skipqueue` crate runs the same algorithm.
 //! * [`heap::SimHuntHeap`] — the Hunt et al. heap: size lock, per-node
 //!   locks and tags, bit-reversed bottom-up insertions, top-down deletions.
 //! * [`funnellist::SimFunnelList`] — the sorted linked list with a

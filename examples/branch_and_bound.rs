@@ -155,7 +155,7 @@ fn solve_parallel(inst: &Instance, workers: usize) -> (i64, u64) {
 }
 
 fn main() {
-    let inst = Instance::random(44, 0xB00B_135);
+    let inst = Instance::random(44, 0x0B00_B135);
     let reference = inst.dp_optimum();
     println!("knapsack: 44 items, capacity {}", inst.capacity);
     println!("dynamic-programming optimum: {reference}");

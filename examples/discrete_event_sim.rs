@@ -39,14 +39,14 @@ fn service_time(state: &mut u64) -> u64 {
     (1.0 + (-100.0 * (1.0 - u).ln())) as u64
 }
 
-fn run_hold_model<Q: PriorityQueue<u64, Event>>(
+fn run_hold_model<Q>(
     name: &str,
     queue: Arc<Q>,
     workers: usize,
     initial_events: u64,
     total_events: u64,
 ) where
-    Q: Send + Sync + 'static,
+    Q: PriorityQueue<u64, Event> + Send + Sync + 'static,
 {
     for job in 0..initial_events {
         queue.insert(job * 7 % 1000, Event { job, hops_left: 4 });

@@ -36,19 +36,19 @@ impl Graph {
             s
         };
         let mut edges: Vec<Vec<(u32, u32)>> = vec![Vec::new(); n];
-        for v in 0..n {
-            edges[v].push((((v + 1) % n) as u32, (next() % 1_000 + 1) as u32));
+        for (v, out) in edges.iter_mut().enumerate() {
+            out.push((((v + 1) % n) as u32, (next() % 1_000 + 1) as u32));
             for _ in 0..deg {
                 let to = (next() % n as u64) as u32;
                 let w = (next() % 1_000 + 1) as u32;
-                edges[v].push((to, w));
+                out.push((to, w));
             }
         }
         let mut offsets = Vec::with_capacity(n + 1);
         let mut adj = Vec::new();
         offsets.push(0);
-        for v in 0..n {
-            adj.extend_from_slice(&edges[v]);
+        for out in &edges {
+            adj.extend_from_slice(out);
             offsets.push(adj.len());
         }
         Self { offsets, adj }
